@@ -1,0 +1,42 @@
+#include "circuits/c17.hpp"
+
+namespace bist {
+
+const char* c17_bench_text() {
+  return R"(# c17 -- ISCAS85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+Netlist make_c17() {
+  Netlist n("c17");
+  const GateId i1 = n.add_input("1");
+  const GateId i2 = n.add_input("2");
+  const GateId i3 = n.add_input("3");
+  const GateId i6 = n.add_input("6");
+  const GateId i7 = n.add_input("7");
+  const GateId g10 = n.add_gate(GateType::Nand, {i1, i3}, "10");
+  const GateId g11 = n.add_gate(GateType::Nand, {i3, i6}, "11");
+  const GateId g16 = n.add_gate(GateType::Nand, {i2, g11}, "16");
+  const GateId g19 = n.add_gate(GateType::Nand, {g11, i7}, "19");
+  const GateId g22 = n.add_gate(GateType::Nand, {g10, g16}, "22");
+  const GateId g23 = n.add_gate(GateType::Nand, {g16, g19}, "23");
+  n.add_output(g22);
+  n.add_output(g23);
+  n.freeze();
+  return n;
+}
+
+}  // namespace bist

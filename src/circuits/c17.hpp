@@ -1,0 +1,15 @@
+#pragma once
+// The real ISCAS85 C17 benchmark (6 NAND gates, 5 PIs, 2 POs) — small enough
+// to embed exactly.  Used by the Figure-2 reproduction and many unit tests.
+
+#include "netlist/netlist.hpp"
+
+namespace bist {
+
+/// Build the exact C17 netlist [Brg85].
+Netlist make_c17();
+
+/// The original .bench text of C17 (for parser round-trip tests).
+const char* c17_bench_text();
+
+}  // namespace bist

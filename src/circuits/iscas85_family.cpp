@@ -1,0 +1,248 @@
+#include "circuits/iscas85_family.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuits/c17.hpp"
+#include "circuits/generators.hpp"
+#include "util/rng.hpp"
+
+namespace bist {
+
+const std::vector<SurrogateSpec>& iscas85_specs() {
+  // PI/PO/gate counts from the ISCAS85 distribution [Brg85].
+  static const std::vector<SurrogateSpec> kSpecs = {
+      {"c432s", 36, 7, 160, BlockFlavor::RandomLogic, 3, 10, 432},
+      {"c499s", 41, 32, 202, BlockFlavor::Ecc, 2, 10, 499},
+      {"c880s", 60, 26, 383, BlockFlavor::Alu, 4, 11, 880},
+      {"c1355s", 41, 32, 546, BlockFlavor::Ecc, 3, 11, 1355},
+      {"c1908s", 33, 25, 880, BlockFlavor::RandomLogic, 5, 12, 1908},
+      {"c2670s", 233, 140, 1193, BlockFlavor::RandomLogic, 6, 13, 2670},
+      {"c3540s", 50, 22, 1669, BlockFlavor::Alu, 6, 13, 3540},
+      {"c5315s", 178, 123, 2307, BlockFlavor::Alu, 7, 13, 5315},
+      {"c6288s", 32, 32, 2416, BlockFlavor::Multiplier, 0, 12, 6288},
+      {"c7552s", 207, 108, 3512, BlockFlavor::RandomLogic, 8, 13, 7552},
+  };
+  return kSpecs;
+}
+
+std::optional<SurrogateSpec> find_spec(std::string_view name) {
+  for (const auto& s : iscas85_specs()) {
+    if (s.name == name) return s;
+    if (name.size() + 1 == s.name.size() &&
+        s.name.compare(0, name.size(), name) == 0)
+      return s;  // "c432" matches "c432s"
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Partition `sinks` into `groups` XOR-collected outputs so that every sink
+/// is structurally observable and the PO count is exact.
+std::vector<GateId> collect_outputs(Netlist& n, std::vector<GateId> sinks,
+                                    unsigned groups, Rng& rng) {
+  if (sinks.size() < groups) {
+    // Too few sinks: replicate observable gates as extra PO drivers via
+    // buffers so the PO count still matches the original circuit.
+    while (sinks.size() < groups) {
+      const GateId src = sinks[rng.next_below(static_cast<std::uint32_t>(sinks.size()))];
+      sinks.push_back(n.add_gate(GateType::Not, {src}));
+    }
+  }
+  std::vector<std::vector<GateId>> buckets(groups);
+  for (std::size_t i = 0; i < sinks.size(); ++i)
+    buckets[i % groups].push_back(sinks[i]);
+  std::vector<GateId> pos;
+  pos.reserve(groups);
+  for (auto& b : buckets)
+    pos.push_back(b.size() == 1 ? b[0] : append_xor_tree(n, std::move(b)));
+  return pos;
+}
+
+/// Current number of logic gates (excludes PIs).
+std::size_t logic_gates(const Netlist& n) { return n.logic_gate_count(); }
+
+}  // namespace
+
+Netlist make_surrogate(const SurrogateSpec& spec) {
+  if (spec.inputs < 4 || spec.outputs < 1 || spec.target_gates < 8)
+    throw std::invalid_argument("surrogate spec too small");
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ull + 1);
+  Netlist n(spec.name);
+
+  std::vector<GateId> pis;
+  pis.reserve(spec.inputs);
+  for (unsigned i = 0; i < spec.inputs; ++i)
+    pis.push_back(n.add_input("pi" + std::to_string(i)));
+
+  std::vector<GateId> block_outs;
+
+  // --- structured core -----------------------------------------------------
+  switch (spec.flavor) {
+    case BlockFlavor::Multiplier: {
+      // c6288: 16x16 array multiplier on the real PIs.
+      const unsigned half = spec.inputs / 2;
+      std::vector<GateId> a(pis.begin(), pis.begin() + half);
+      std::vector<GateId> b(pis.begin() + half, pis.begin() + 2 * half);
+      // Partial products + reduction, inline (same construction as
+      // make_array_multiplier but appended to this netlist).
+      std::vector<std::vector<GateId>> pp(half, std::vector<GateId>(half));
+      for (unsigned i = 0; i < half; ++i)
+        for (unsigned j = 0; j < half; ++j)
+          pp[i][j] = n.add_gate(GateType::And, {a[i], b[j]});
+      std::vector<GateId> bit_at(2 * half, kNoGate);
+      for (unsigned j = 0; j < half; ++j) bit_at[j] = pp[0][j];
+      for (unsigned i = 1; i < half; ++i) {
+        GateId carry = kNoGate;
+        for (unsigned j = 0; j < half; ++j) {
+          const unsigned w = i + j;
+          const GateId x = pp[i][j];
+          const GateId y = bit_at[w];
+          if (y == kNoGate && carry == kNoGate) {
+            bit_at[w] = x;
+          } else if (y == kNoGate || carry == kNoGate) {
+            const GateId other = (y == kNoGate) ? carry : y;
+            bit_at[w] = n.add_gate(GateType::Xor, {x, other});
+            carry = n.add_gate(GateType::And, {x, other});
+          } else {
+            const auto fa = append_full_adder(n, x, y, carry);
+            bit_at[w] = fa.sum;
+            carry = fa.carry;
+          }
+        }
+        unsigned w = i + half;
+        while (carry != kNoGate && w < 2 * half) {
+          if (bit_at[w] == kNoGate) { bit_at[w] = carry; carry = kNoGate; }
+          else {
+            const GateId s = n.add_gate(GateType::Xor, {bit_at[w], carry});
+            carry = n.add_gate(GateType::And, {bit_at[w], carry});
+            bit_at[w] = s;
+            ++w;
+          }
+        }
+      }
+      for (GateId g : bit_at)
+        if (g != kNoGate) block_outs.push_back(g);
+      break;
+    }
+    case BlockFlavor::Alu: {
+      const unsigned width = std::min<unsigned>(16, (spec.inputs - 3) / 2);
+      std::vector<GateId> a(pis.begin(), pis.begin() + width);
+      std::vector<GateId> b(pis.begin() + width, pis.begin() + 2 * width);
+      std::vector<GateId> fsel(pis.begin() + 2 * width, pis.begin() + 2 * width + 3);
+      auto outs = append_alu_slices(n, a, b, fsel);
+      block_outs.insert(block_outs.end(), outs.begin(), outs.end());
+      break;
+    }
+    case BlockFlavor::Ecc: {
+      // Syndrome XOR trees like C499/C1355.
+      const unsigned syn = 5;
+      for (unsigned j = 0; j < syn; ++j) {
+        std::vector<GateId> leaves;
+        for (unsigned i = 0; i < spec.inputs; ++i)
+          if ((i >> j) & 1) leaves.push_back(pis[i]);
+        if (leaves.size() >= 2)
+          block_outs.push_back(append_xor_tree(n, std::move(leaves)));
+      }
+      break;
+    }
+    case BlockFlavor::RandomLogic:
+      break;
+  }
+
+  // --- random-pattern-resistant detectors ---------------------------------
+  // Wide code detectors on random PI subsets: their output stuck-at-0 (and
+  // the cone feeding them) is detected with probability ~2^-w per random
+  // pattern, reproducing the hard-fault tail of Figure 4.
+  std::vector<GateId> rpr_outs;
+  for (unsigned d = 0; d < spec.rpr_detectors; ++d) {
+    std::vector<GateId> nets;
+    for (unsigned i = 0; i < spec.rpr_width; ++i)
+      nets.push_back(pis[rng.next_below(spec.inputs)]);
+    rpr_outs.push_back(append_code_detector(n, nets, rng.next_u64()));
+  }
+
+  // --- random cloud to approach the gate budget ----------------------------
+  std::vector<GateId> sources = pis;
+  sources.insert(sources.end(), block_outs.begin(), block_outs.end());
+  sources.insert(sources.end(), rpr_outs.begin(), rpr_outs.end());
+
+  // Reserve an estimate for the XOR observability collectors: the number of
+  // eventual sink gates is roughly cloud_gates * sink_ratio; each extra sink
+  // beyond the PO count costs one XOR gate.
+  const double sink_ratio = 0.22;
+  std::size_t structured = logic_gates(n);
+  if (structured >= spec.target_gates)
+    throw std::runtime_error("structured core exceeds gate budget for " + spec.name);
+  std::size_t remaining = spec.target_gates - structured;
+  std::size_t cloud_budget = static_cast<std::size_t>(
+      static_cast<double>(remaining) / (1.0 + sink_ratio));
+
+  CloudOptions copt;
+  copt.gate_budget = cloud_budget;
+  append_random_cloud(n, rng, sources, copt);
+
+  // --- output selection + observability collectors ------------------------
+  // First make sure every PI is used: an unused PI would make all its faults
+  // untestable and distort the redundancy profile.
+  {
+    std::vector<std::uint32_t> nfan0(n.gate_count(), 0);
+    for (GateId g = 0; g < n.gate_count(); ++g)
+      for (GateId f : n.gate(g).fanins) ++nfan0[f];
+    for (unsigned i = 0; i < pis.size(); ++i)
+      if (nfan0[pis[i]] == 0) {
+        GateId other = pis[rng.next_below(spec.inputs)];
+        if (other == pis[i]) other = pis[(i + 1) % spec.inputs];
+        n.add_gate(GateType::Xor, {pis[i], other});
+      }
+  }
+
+  // Sinks = gates with no fanout yet.  We can't call freeze() yet, so count
+  // fanouts manually.
+  std::vector<std::uint32_t> nfan(n.gate_count(), 0);
+  for (GateId g = 0; g < n.gate_count(); ++g)
+    for (GateId f : n.gate(g).fanins) ++nfan[f];
+  std::vector<GateId> sinks;
+  for (GateId g = 0; g < n.gate_count(); ++g)
+    if (nfan[g] == 0 && n.gate(g).type != GateType::Input) sinks.push_back(g);
+
+  // Pad with small gadget chains to hit the exact gate target, accounting
+  // for the XOR collectors we are about to add.
+  auto projected_total = [&]() {
+    const std::size_t extra_sinks =
+        sinks.size() > spec.outputs ? sinks.size() - spec.outputs : 0;
+    return logic_gates(n) + extra_sinks;  // each extra sink costs ~1 XOR
+  };
+  while (projected_total() + 2 <= spec.target_gates) {
+    // Two-gate observable gadget: NAND of two random nets + inverter.
+    const GateId x = static_cast<GateId>(rng.next_below(
+        static_cast<std::uint32_t>(n.gate_count())));
+    const GateId y = static_cast<GateId>(rng.next_below(
+        static_cast<std::uint32_t>(n.gate_count())));
+    const GateId g1 = n.add_gate(GateType::Nand, {x, y == x ? pis[0] : y});
+    const GateId g2 = n.add_gate(GateType::Not, {g1});
+    sinks.push_back(g2);
+  }
+
+  for (GateId o : collect_outputs(n, std::move(sinks), spec.outputs, rng))
+    n.add_output(o);
+
+  n.freeze();
+  return n;
+}
+
+Netlist make_iscas85(std::string_view name) {
+  if (name == "c17" || name == "c17s") return make_c17();
+  const auto spec = find_spec(name);
+  if (!spec) throw std::invalid_argument("unknown ISCAS85 name: " + std::string(name));
+  return make_surrogate(*spec);
+}
+
+std::vector<std::string> iscas85_names() {
+  std::vector<std::string> out{"c17"};
+  for (const auto& s : iscas85_specs()) out.push_back(s.name);
+  return out;
+}
+
+}  // namespace bist

@@ -1,0 +1,59 @@
+#pragma once
+// Surrogate family for the ISCAS85 benchmarks.
+//
+// The paper's experiments run on the original ISCAS85 netlists [Brg85].
+// This offline reproduction cannot fetch them, so — per the substitution
+// rule in DESIGN.md — each circuit (except C17, which is embedded exactly)
+// is replaced by a *surrogate* with the same primary-input, primary-output
+// and gate counts, assembled from structured blocks that match the original
+// circuit's character (ALU slices, ECC/XOR trees, an array multiplier for
+// C6288) plus a random logic cloud, XOR observability collectors, and a few
+// wide code detectors that provide the random-pattern-resistant fault tail
+// the paper's Figures 4/5 depend on.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace bist {
+
+enum class BlockFlavor : std::uint8_t {
+  RandomLogic,   ///< pure cloud (c432/c1908-like control logic)
+  Alu,           ///< ALU slice array + cloud (c880/c3540)
+  Ecc,           ///< XOR syndrome trees + cloud (c499/c1355)
+  Multiplier,    ///< array multiplier core (c6288)
+};
+
+struct SurrogateSpec {
+  std::string name;          ///< "c432s", ...
+  unsigned inputs = 0;       ///< primary inputs of the original
+  unsigned outputs = 0;      ///< primary outputs of the original
+  unsigned target_gates = 0; ///< logic-gate count of the original
+  BlockFlavor flavor = BlockFlavor::RandomLogic;
+  unsigned rpr_detectors = 4;     ///< wide code detectors (RPR tail)
+  unsigned rpr_width = 12;        ///< detector width (detection prob 2^-w)
+  std::uint64_t seed = 1;
+};
+
+/// Specs matching the published ISCAS85 sizes (gate counts from [Brg85]).
+/// Index order matches the paper's Table 1 / Figure 6.
+const std::vector<SurrogateSpec>& iscas85_specs();
+
+/// Look up a spec by name ("c432s" or "c432"); nullopt when unknown.
+std::optional<SurrogateSpec> find_spec(std::string_view name);
+
+/// Build the surrogate for a spec.  Deterministic for a given spec+seed.
+/// Postconditions (asserted by tests): input/output counts exact; gate count
+/// within 3% of target_gates; every gate structurally observable.
+Netlist make_surrogate(const SurrogateSpec& spec);
+
+/// Convenience: build by name; "c17" returns the exact C17.
+Netlist make_iscas85(std::string_view name);
+
+/// Names of the full family in Table-1 order: c17, c432s, ..., c7552s.
+std::vector<std::string> iscas85_names();
+
+}  // namespace bist

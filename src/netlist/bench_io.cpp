@@ -1,0 +1,170 @@
+#include "netlist/bench_io.hpp"
+
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace bist {
+namespace {
+
+struct PendingGate {
+  GateType type;
+  std::vector<std::string> fanin_names;
+  int line;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error(".bench line " + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+Netlist read_bench(std::string_view text, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  // Definition order preserved for deterministic ids.
+  std::vector<std::pair<std::string, PendingGate>> defs;
+  std::map<std::string, std::size_t> def_index;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') {
+      if (pos > text.size()) break;
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t lp = line.find('('), rp = line.rfind(')');
+      if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp)
+        fail(line_no, "expected INPUT(...), OUTPUT(...) or assignment");
+      const std::string_view kw = trim(line.substr(0, lp));
+      const std::string name{trim(line.substr(lp + 1, rp - lp - 1))};
+      if (name.empty()) fail(line_no, "empty signal name");
+      if (iequals(kw, "INPUT")) input_names.push_back(name);
+      else if (iequals(kw, "OUTPUT")) output_names.push_back(name);
+      else fail(line_no, "unknown directive: " + std::string(kw));
+    } else {
+      const std::string lhs{trim(line.substr(0, eq))};
+      std::string_view rhs = trim(line.substr(eq + 1));
+      const std::size_t lp = rhs.find('(');
+      const std::size_t rp = rhs.rfind(')');
+      if (lhs.empty()) fail(line_no, "empty lhs");
+      if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp)
+        fail(line_no, "expected GATE(a, b, ...)");
+      GateType t;
+      try {
+        t = gate_type_from_name(trim(rhs.substr(0, lp)));
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
+      PendingGate pg;
+      pg.type = t;
+      pg.line = line_no;
+      for (auto tok : split(rhs.substr(lp + 1, rp - lp - 1), ",")) {
+        const std::string fn{trim(tok)};
+        if (fn.empty()) fail(line_no, "empty fanin name");
+        pg.fanin_names.push_back(fn);
+      }
+      if (def_index.count(lhs)) fail(line_no, "redefinition of " + lhs);
+      def_index[lhs] = defs.size();
+      defs.emplace_back(lhs, std::move(pg));
+    }
+    if (pos > text.size()) break;
+  }
+
+  Netlist n(std::move(circuit_name));
+  std::map<std::string, GateId> ids;
+  for (const auto& in : input_names) {
+    if (ids.count(in)) throw std::runtime_error("duplicate INPUT " + in);
+    ids[in] = n.add_input(in);
+  }
+
+  // Topological emission of definitions (the file may be unordered).
+  std::vector<int> state(defs.size(), 0);  // 0 unvisited, 1 on stack, 2 done
+  // Iterative DFS to avoid recursion depth issues on big circuits.
+  std::vector<std::size_t> stack;
+  auto emit = [&](std::size_t root) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const std::size_t d = stack.back();
+      auto& [name, pg] = defs[d];
+      if (state[d] == 2) { stack.pop_back(); continue; }
+      bool ready = true;
+      for (const auto& fn : pg.fanin_names) {
+        if (ids.count(fn)) continue;
+        auto it = def_index.find(fn);
+        if (it == def_index.end())
+          fail(pg.line, "undefined signal: " + fn);
+        if (state[it->second] == 1)
+          fail(pg.line, "combinational cycle through " + fn);
+        if (state[it->second] == 0) {
+          state[it->second] = 1;
+          stack.push_back(it->second);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      std::vector<GateId> fis;
+      fis.reserve(pg.fanin_names.size());
+      for (const auto& fn : pg.fanin_names) fis.push_back(ids.at(fn));
+      // .bench allows 1-input AND/OR etc.; normalize to Buf.
+      GateType t = pg.type;
+      if (fis.size() == 1 &&
+          (t == GateType::And || t == GateType::Or)) t = GateType::Buf;
+      if (fis.size() == 1 && (t == GateType::Nand || t == GateType::Nor))
+        t = GateType::Not;
+      ids[name] = n.add_gate(t, fis, name);
+      state[d] = 2;
+      stack.pop_back();
+    }
+  };
+  for (std::size_t d = 0; d < defs.size(); ++d)
+    if (state[d] == 0) { state[d] = 1; emit(d); }
+
+  for (const auto& on : output_names) {
+    auto it = ids.find(on);
+    if (it == ids.end()) throw std::runtime_error("OUTPUT of undefined signal " + on);
+    n.add_output(it->second);
+  }
+  n.freeze();
+  return n;
+}
+
+Netlist read_bench_stream(std::istream& in, std::string circuit_name) {
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return read_bench(ss.str(), std::move(circuit_name));
+}
+
+std::string write_bench(const Netlist& n) {
+  std::ostringstream os;
+  os << "# " << n.name() << "\n";
+  os << "# " << n.input_count() << " inputs, " << n.output_count()
+     << " outputs, " << n.logic_gate_count() << " gates\n";
+  for (GateId g : n.inputs()) os << "INPUT(" << n.gate(g).name << ")\n";
+  for (GateId g : n.outputs()) os << "OUTPUT(" << n.gate(g).name << ")\n";
+  for (GateId id = 0; id < n.gate_count(); ++id) {
+    const Gate& g = n.gate(id);
+    if (g.type == GateType::Input) continue;
+    os << g.name << " = " << gate_type_name(g.type) << "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) os << ", ";
+      os << n.gate(g.fanins[i]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace bist

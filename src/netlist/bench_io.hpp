@@ -1,0 +1,31 @@
+#pragma once
+// Reader/writer for the ISCAS85/89 ".bench" netlist format [Brg85]:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G17)
+//   G10 = NAND(G1, G3)
+//
+// The reader is two-pass so signals may be referenced before definition
+// (the original ISCAS distributions are not topologically sorted).
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace bist {
+
+/// Parse a .bench netlist from text.  Throws std::runtime_error with a
+/// line-numbered message on malformed input.  The returned netlist is frozen.
+Netlist read_bench(std::string_view text, std::string circuit_name = "bench");
+
+/// Parse from a stream (reads to EOF).
+Netlist read_bench_stream(std::istream& in, std::string circuit_name = "bench");
+
+/// Serialize to .bench text.  read_bench(write_bench(n)) reproduces the
+/// netlist up to gate ordering.
+std::string write_bench(const Netlist& n);
+
+}  // namespace bist

@@ -1,0 +1,59 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+
+namespace bist {
+namespace {
+
+std::vector<GateId> cone(const Netlist& n, GateId root, bool forward) {
+  std::vector<char> seen(n.gate_count(), 0);
+  std::vector<GateId> work{root};
+  seen[root] = 1;
+  while (!work.empty()) {
+    const GateId g = work.back();
+    work.pop_back();
+    if (forward) {
+      for (GateId f : n.fanouts(g))
+        if (!seen[f]) { seen[f] = 1; work.push_back(f); }
+    } else {
+      for (GateId f : n.gate(g).fanins)
+        if (!seen[f]) { seen[f] = 1; work.push_back(f); }
+    }
+  }
+  std::vector<GateId> out;
+  for (GateId g = 0; g < n.gate_count(); ++g)
+    if (seen[g]) out.push_back(g);
+  return out;
+}
+
+}  // namespace
+
+std::vector<GateId> fanout_cone(const Netlist& n, GateId root) {
+  return cone(n, root, /*forward=*/true);
+}
+
+std::vector<GateId> fanin_cone(const Netlist& n, GateId root) {
+  return cone(n, root, /*forward=*/false);
+}
+
+std::vector<GateId> cone_inputs(const Netlist& n, GateId root) {
+  std::vector<GateId> out;
+  for (GateId g : fanin_cone(n, root))
+    if (n.gate(g).type == GateType::Input) out.push_back(g);
+  return out;
+}
+
+std::vector<std::vector<GateId>> gates_by_level(const Netlist& n) {
+  std::vector<std::vector<GateId>> buckets(n.max_level() + 1);
+  for (GateId g = 0; g < n.gate_count(); ++g) buckets[n.level(g)].push_back(g);
+  return buckets;
+}
+
+bool reaches_output(const Netlist& n, GateId root) {
+  if (n.is_output(root)) return true;
+  for (GateId g : fanout_cone(n, root))
+    if (n.is_output(g)) return true;
+  return false;
+}
+
+}  // namespace bist

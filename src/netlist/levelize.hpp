@@ -1,0 +1,29 @@
+#pragma once
+// Structural traversal helpers over a frozen netlist: transitive fanin/fanout
+// cones and level-ordered gate lists.  Used by the fault simulator (event
+// scheduling region) and PODEM (X-path check).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace bist {
+
+/// Gate ids in the transitive fanout cone of `root` (including root),
+/// in topological (id) order.
+std::vector<GateId> fanout_cone(const Netlist& n, GateId root);
+
+/// Gate ids in the transitive fanin cone of `root` (including root),
+/// in topological (id) order.
+std::vector<GateId> fanin_cone(const Netlist& n, GateId root);
+
+/// Primary inputs in the fanin cone of `root`.
+std::vector<GateId> cone_inputs(const Netlist& n, GateId root);
+
+/// All gate ids grouped by level; bucket[l] holds the gates at level l.
+std::vector<std::vector<GateId>> gates_by_level(const Netlist& n);
+
+/// True if any primary output is reachable from `root`.
+bool reaches_output(const Netlist& n, GateId root);
+
+}  // namespace bist

@@ -1,0 +1,163 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace bist {
+
+std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+  }
+  return "?";
+}
+
+GateType gate_type_from_name(std::string_view s) {
+  const std::string u = to_upper(s);
+  if (u == "BUF" || u == "BUFF") return GateType::Buf;
+  if (u == "NOT" || u == "INV") return GateType::Not;
+  if (u == "AND") return GateType::And;
+  if (u == "NAND") return GateType::Nand;
+  if (u == "OR") return GateType::Or;
+  if (u == "NOR") return GateType::Nor;
+  if (u == "XOR") return GateType::Xor;
+  if (u == "XNOR") return GateType::Xnor;
+  if (u == "CONST0") return GateType::Const0;
+  if (u == "CONST1") return GateType::Const1;
+  throw std::runtime_error("unknown gate type: " + std::string(s));
+}
+
+FaninArity gate_type_arity(GateType t) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1: return {0, 1};  // max 1 means "none"; min==0
+    case GateType::Buf:
+    case GateType::Not: return {1, 1};
+    default: return {2, 0};  // unbounded n-ary
+  }
+}
+
+int controlling_value(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand: return 0;
+    case GateType::Or:
+    case GateType::Nor: return 1;
+    default: return -1;
+  }
+}
+
+bool is_inverting(GateType t) {
+  return t == GateType::Nand || t == GateType::Nor || t == GateType::Not ||
+         t == GateType::Xnor;
+}
+
+GateId Netlist::add_input(std::string name) {
+  return add_gate_impl(GateType::Input, {}, std::move(name));
+}
+
+GateId Netlist::add_gate(GateType t, std::span<const GateId> fanins, std::string name) {
+  return add_gate_impl(t, std::vector<GateId>(fanins.begin(), fanins.end()),
+                       std::move(name));
+}
+
+GateId Netlist::add_gate(GateType t, std::initializer_list<GateId> fanins,
+                         std::string name) {
+  return add_gate_impl(t, std::vector<GateId>(fanins), std::move(name));
+}
+
+GateId Netlist::add_gate_impl(GateType t, std::vector<GateId> fanins,
+                              std::string name) {
+  const auto arity = gate_type_arity(t);
+  if (fanins.size() < arity.min)
+    throw std::runtime_error("too few fanins for " + std::string(gate_type_name(t)));
+  if (t == GateType::Input || t == GateType::Const0 || t == GateType::Const1) {
+    if (!fanins.empty())
+      throw std::runtime_error("source gate cannot have fanins");
+  }
+  const GateId id = static_cast<GateId>(gates_.size());
+  for (GateId f : fanins)
+    if (f >= id) throw std::runtime_error("fanin references later gate (cycle?)");
+  if (name.empty()) name = "n" + std::to_string(id);
+  auto [it, inserted] = by_name_.emplace(name, id);
+  if (!inserted) throw std::runtime_error("duplicate gate name: " + name);
+  gates_.push_back(Gate{t, std::move(fanins), std::move(name)});
+  if (t == GateType::Input) inputs_.push_back(id);
+  frozen_ = false;
+  return id;
+}
+
+void Netlist::add_output(GateId g) {
+  if (g >= gates_.size()) throw std::runtime_error("add_output: bad gate id");
+  outputs_.push_back(g);
+  frozen_ = false;
+}
+
+void Netlist::freeze() {
+  const std::size_t n = gates_.size();
+  // fanout CSR
+  fanout_begin_.assign(n + 1, 0);
+  for (const auto& g : gates_)
+    for (GateId f : g.fanins) ++fanout_begin_[f + 1];
+  for (std::size_t i = 1; i <= n; ++i) fanout_begin_[i] += fanout_begin_[i - 1];
+  fanout_flat_.assign(fanout_begin_[n], 0);
+  std::vector<std::uint32_t> cursor(fanout_begin_.begin(), fanout_begin_.end() - 1);
+  for (GateId id = 0; id < n; ++id)
+    for (GateId f : gates_[id].fanins) fanout_flat_[cursor[f]++] = id;
+
+  // levels (gate array is topologically ordered by construction)
+  levels_.assign(n, 0);
+  max_level_ = 0;
+  for (GateId id = 0; id < n; ++id) {
+    unsigned lv = 0;
+    for (GateId f : gates_[id].fanins) lv = std::max(lv, levels_[f] + 1);
+    levels_[id] = lv;
+    max_level_ = std::max(max_level_, lv);
+  }
+
+  is_output_.assign(n, 0);
+  for (GateId o : outputs_) is_output_[o] = 1;
+
+  input_index_.assign(n, ~0u);
+  for (std::uint32_t i = 0; i < inputs_.size(); ++i) input_index_[inputs_[i]] = i;
+
+  if (outputs_.empty())
+    throw std::runtime_error("netlist '" + name_ + "' has no outputs");
+  if (inputs_.empty())
+    throw std::runtime_error("netlist '" + name_ + "' has no inputs");
+  frozen_ = true;
+}
+
+std::span<const GateId> Netlist::fanouts(GateId g) const {
+  return {fanout_flat_.data() + fanout_begin_[g],
+          fanout_flat_.data() + fanout_begin_[g + 1]};
+}
+
+std::uint32_t Netlist::input_index(GateId g) const { return input_index_[g]; }
+
+GateId Netlist::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (const auto& g : gates_)
+    if (g.type != GateType::Input) ++n;
+  return n;
+}
+
+}  // namespace bist

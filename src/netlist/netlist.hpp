@@ -1,0 +1,128 @@
+#pragma once
+// Gate-level combinational netlist.  This is the common substrate for the
+// logic/fault simulators, the ATPG, the circuit generators and the area
+// model.  The representation is a flat gate array addressed by GateId;
+// primary inputs are gates of type Input, primary outputs are references to
+// driving gates (ISCAS85 style, where OUTPUT(n) names an existing signal).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bist {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = 0xffffffffu;
+
+enum class GateType : std::uint8_t {
+  Input,   ///< primary input (no fanins)
+  Buf,     ///< 1-input buffer
+  Not,     ///< 1-input inverter
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,     ///< parity of all fanins
+  Xnor,    ///< complement of parity
+  Const0,  ///< constant 0 (no fanins)
+  Const1,  ///< constant 1 (no fanins)
+};
+
+/// Human-readable name ("NAND", ...) for diagnostics and .bench output.
+std::string_view gate_type_name(GateType t);
+/// Parse a .bench keyword ("NAND", "not", ...). Throws on unknown keyword.
+GateType gate_type_from_name(std::string_view s);
+
+/// Number of fanins a gate type admits: {min, max} (max = 0 means unbounded).
+struct FaninArity { unsigned min, max; };
+FaninArity gate_type_arity(GateType t);
+
+/// Controlling value semantics used by fault collapsing, PODEM backtrace and
+/// the stuck-open model.  For And/Nand the controlling value is 0; for Or/Nor
+/// it is 1; Xor/Xnor/Buf/Not have none (returns -1).
+int controlling_value(GateType t);
+/// True if the gate inverts the dominant/controlled result (Nand, Nor, Not, Xnor).
+bool is_inverting(GateType t);
+
+struct Gate {
+  GateType type = GateType::Buf;
+  std::vector<GateId> fanins;
+  std::string name;  ///< net name of the gate output
+};
+
+/// A combinational netlist with named gates, primary inputs and outputs.
+///
+/// Invariants maintained by the builder API:
+///  - fanins reference previously-added gates only (the gate array is in
+///    topological order by construction);
+///  - names are unique;
+///  - arity constraints of the gate type hold.
+/// freeze() validates the invariants and computes fanout lists and levels.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// --- construction -----------------------------------------------------
+  GateId add_input(std::string name);
+  GateId add_gate(GateType t, std::span<const GateId> fanins, std::string name = {});
+  GateId add_gate(GateType t, std::initializer_list<GateId> fanins, std::string name = {});
+  /// Mark an existing gate's output as a primary output.
+  void add_output(GateId g);
+
+  /// Validate invariants, compute fanouts + levels.  Must be called before
+  /// simulation/ATPG.  Throws std::runtime_error on malformed netlists.
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+  /// --- structure queries --------------------------------------------------
+  std::size_t gate_count() const { return gates_.size(); }
+  const Gate& gate(GateId g) const { return gates_[g]; }
+  std::span<const GateId> inputs() const { return inputs_; }
+  std::span<const GateId> outputs() const { return outputs_; }
+  std::size_t input_count() const { return inputs_.size(); }
+  std::size_t output_count() const { return outputs_.size(); }
+
+  /// Fanout gate ids of g (valid after freeze()).
+  std::span<const GateId> fanouts(GateId g) const;
+  /// Logic level: inputs are level 0, a gate is 1 + max(fanin levels).
+  unsigned level(GateId g) const { return levels_[g]; }
+  unsigned max_level() const { return max_level_; }
+  /// Is g one of the primary outputs?
+  bool is_output(GateId g) const { return is_output_[g]; }
+
+  /// Index of a PI in the inputs() list, kNoGate-safe; ~0u when not a PI.
+  std::uint32_t input_index(GateId g) const;
+
+  /// Lookup by name; returns kNoGate when absent.
+  GateId find(std::string_view name) const;
+
+  /// Number of gates excluding primary inputs (used by size statistics).
+  std::size_t logic_gate_count() const;
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::unordered_map<std::string, GateId> by_name_;
+
+  // computed by freeze():
+  bool frozen_ = false;
+  std::vector<GateId> fanout_flat_;
+  std::vector<std::uint32_t> fanout_begin_;  // size gates+1
+  std::vector<unsigned> levels_;
+  std::vector<char> is_output_;
+  std::vector<std::uint32_t> input_index_;
+  unsigned max_level_ = 0;
+
+  GateId add_gate_impl(GateType t, std::vector<GateId> fanins, std::string name);
+};
+
+}  // namespace bist

@@ -1,0 +1,140 @@
+#include "sim/ternary_sim.hpp"
+
+#include <stdexcept>
+
+namespace bist {
+
+Ternary eval_gate_ternary(GateType t, std::span<const Ternary> ins) {
+  using T = Ternary;
+  switch (t) {
+    case GateType::Input: return T::VX;
+    case GateType::Const0: return T::V0;
+    case GateType::Const1: return T::V1;
+    case GateType::Buf: return ins[0];
+    case GateType::Not: return t_not(ins[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      bool any_x = false;
+      for (T v : ins) {
+        if (v == T::V0) return t == GateType::And ? T::V0 : T::V1;
+        if (v == T::VX) any_x = true;
+      }
+      if (any_x) return T::VX;
+      return t == GateType::And ? T::V1 : T::V0;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool any_x = false;
+      for (T v : ins) {
+        if (v == T::V1) return t == GateType::Or ? T::V1 : T::V0;
+        if (v == T::VX) any_x = true;
+      }
+      if (any_x) return T::VX;
+      return t == GateType::Or ? T::V0 : T::V1;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      bool parity = (t == GateType::Xnor);
+      for (T v : ins) {
+        if (v == T::VX) return T::VX;
+        if (v == T::V1) parity = !parity;
+      }
+      return parity ? T::V1 : T::V0;
+    }
+  }
+  return T::VX;
+}
+
+TernarySim::TernarySim(const Netlist& n)
+    : n_(&n),
+      values_(n.gate_count(), Ternary::VX),
+      forced_(n.gate_count(), Ternary::VX),
+      has_force_(n.gate_count(), 0),
+      level_queues_(n.max_level() + 1),
+      queued_(n.gate_count(), 0) {
+  if (!n.frozen()) throw std::invalid_argument("TernarySim: netlist not frozen");
+  full_eval();
+}
+
+void TernarySim::reset() {
+  std::fill(values_.begin(), values_.end(), Ternary::VX);
+  std::fill(forced_.begin(), forced_.end(), Ternary::VX);
+  std::fill(has_force_.begin(), has_force_.end(), 0);
+  full_eval();
+}
+
+void TernarySim::force(GateId g, Ternary v) {
+  forced_[g] = v;
+  has_force_[g] = 1;
+  propagate_from(g);
+}
+
+void TernarySim::unforce(GateId g) {
+  has_force_[g] = 0;
+  propagate_from(g);
+}
+
+Ternary TernarySim::compute(GateId g) const {
+  if (has_force_[g]) return forced_[g];
+  const Gate& gg = n_->gate(g);
+  if (gg.type == GateType::Input) return values_[g];  // kept as assigned
+  Ternary fis[64];
+  const std::size_t nin = gg.fanins.size();
+  for (std::size_t i = 0; i < nin; ++i) fis[i] = values_[gg.fanins[i]];
+  return eval_gate_ternary(gg.type, {fis, nin});
+}
+
+void TernarySim::set_input(std::size_t input_idx, Ternary v) {
+  const GateId g = n_->inputs()[input_idx];
+  const Ternary nv = has_force_[g] ? forced_[g] : v;
+  if (!has_force_[g]) values_[g] = v;
+  if (values_[g] != nv && has_force_[g]) values_[g] = nv;
+  propagate_from(g);
+}
+
+void TernarySim::propagate_from(GateId root) {
+  // Levelized event propagation: start with root's recomputation, then walk
+  // strictly increasing levels so every gate is evaluated at most once.
+  const Ternary nv = (n_->gate(root).type == GateType::Input && !has_force_[root])
+                         ? values_[root]
+                         : compute(root);
+  const bool root_changed = values_[root] != nv;
+  values_[root] = nv;
+  if (!root_changed && n_->gate(root).type != GateType::Input) return;
+
+  unsigned lo_level = n_->max_level() + 1;
+  for (GateId f : n_->fanouts(root)) {
+    if (!queued_[f]) {
+      queued_[f] = 1;
+      level_queues_[n_->level(f)].push_back(f);
+      lo_level = std::min(lo_level, n_->level(f));
+    }
+  }
+  for (unsigned lv = lo_level; lv <= n_->max_level(); ++lv) {
+    auto& q = level_queues_[lv];
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const GateId g = q[i];
+      queued_[g] = 0;
+      const Ternary v = compute(g);
+      if (v == values_[g]) continue;
+      values_[g] = v;
+      for (GateId f : n_->fanouts(g)) {
+        if (!queued_[f]) {
+          queued_[f] = 1;
+          level_queues_[n_->level(f)].push_back(f);
+        }
+      }
+    }
+    q.clear();
+  }
+}
+
+void TernarySim::full_eval() {
+  for (GateId g = 0; g < n_->gate_count(); ++g) {
+    if (has_force_[g]) { values_[g] = forced_[g]; continue; }
+    if (n_->gate(g).type == GateType::Input) continue;  // keep assignment
+    values_[g] = compute(g);
+  }
+}
+
+}  // namespace bist

@@ -1,0 +1,62 @@
+#pragma once
+// Three-valued (0/1/X) logic for ATPG.  PODEM runs two ternary simulations
+// in lock-step (good machine / faulty machine); a gate whose pair is (1,0)
+// carries D, (0,1) carries D-bar.
+//
+// The simulator is event-driven and levelized: assigning one PI only
+// re-evaluates the affected cone, which is what makes PODEM's
+// assign/unassign cycle cheap.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace bist {
+
+enum class Ternary : std::uint8_t { V0 = 0, V1 = 1, VX = 2 };
+
+inline Ternary t_not(Ternary a) {
+  if (a == Ternary::VX) return Ternary::VX;
+  return a == Ternary::V0 ? Ternary::V1 : Ternary::V0;
+}
+
+Ternary eval_gate_ternary(GateType t, std::span<const Ternary> ins);
+
+/// Event-driven ternary simulator with per-gate forced-value support (used
+/// to inject the fault site value in the faulty machine).
+class TernarySim {
+ public:
+  explicit TernarySim(const Netlist& n);
+
+  /// Reset every signal to X and clear all forces.
+  void reset();
+
+  /// Force gate g to value v regardless of its fanins (fault injection).
+  /// Takes effect on the next propagate()/set_input().
+  void force(GateId g, Ternary v);
+  void unforce(GateId g);
+
+  /// Assign a primary input and propagate the change through its cone.
+  void set_input(std::size_t input_idx, Ternary v);
+
+  /// Recompute everything from scratch (after bulk changes).
+  void full_eval();
+
+  Ternary value(GateId g) const { return values_[g]; }
+
+ private:
+  void propagate_from(GateId g);
+  Ternary compute(GateId g) const;
+
+  const Netlist* n_;
+  std::vector<Ternary> values_;
+  std::vector<Ternary> forced_;      // VX = not forced
+  std::vector<char> has_force_;
+  // Levelized event scheduling scratch.
+  std::vector<std::vector<GateId>> level_queues_;
+  std::vector<char> queued_;
+};
+
+}  // namespace bist

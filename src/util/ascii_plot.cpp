@@ -1,0 +1,58 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace bist {
+
+std::string ascii_plot(const std::vector<Series>& series, const PlotOptions& opt) {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity(), ymax = -ymin;
+  for (const auto& s : series) {
+    for (double v : s.x) { xmin = std::min(xmin, v); xmax = std::max(xmax, v); }
+    for (double v : s.y) { ymin = std::min(ymin, v); ymax = std::max(ymax, v); }
+  }
+  if (!(xmin <= xmax) || !(ymin <= ymax)) return "(empty plot)\n";
+  if (opt.y_from_zero) ymin = std::min(ymin, 0.0);
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  const int W = std::max(opt.width, 16), H = std::max(opt.height, 6);
+  std::vector<std::string> grid(H, std::string(W, ' '));
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      int cx = static_cast<int>(std::lround((s.x[i] - xmin) / (xmax - xmin) * (W - 1)));
+      int cy = static_cast<int>(std::lround((s.y[i] - ymin) / (ymax - ymin) * (H - 1)));
+      cx = std::clamp(cx, 0, W - 1);
+      cy = std::clamp(cy, 0, H - 1);
+      grid[H - 1 - cy][cx] = s.marker;
+    }
+  }
+
+  std::ostringstream os;
+  if (!opt.title.empty()) os << "  " << opt.title << "\n";
+  char buf[64];
+  for (int r = 0; r < H; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (H - 1);
+    std::snprintf(buf, sizeof buf, "%10.2f |", yv);
+    os << buf << grid[r] << "\n";
+  }
+  os << std::string(12, ' ') << std::string(W, '-') << "\n";
+  std::snprintf(buf, sizeof buf, "%12s%-10.1f", " ", xmin);
+  os << buf << std::string(W > 30 ? W - 20 : 1, ' ');
+  std::snprintf(buf, sizeof buf, "%10.1f", xmax);
+  os << buf << "\n";
+  if (!opt.x_label.empty())
+    os << std::string(12 + W / 2 - static_cast<int>(opt.x_label.size() / 2), ' ')
+       << opt.x_label << "\n";
+  for (const auto& s : series)
+    os << "    [" << s.marker << "] " << s.name << "\n";
+  return os.str();
+}
+
+}  // namespace bist

@@ -1,0 +1,31 @@
+#pragma once
+// Minimal ASCII line/scatter plotting for the figure benches.  The paper's
+// figures are curves (coverage vs. length, cost vs. length); the benches
+// print both the raw series (CSV-like rows) and a terminal plot so the
+// "shape" claims can be eyeballed without external tooling.
+
+#include <string>
+#include <vector>
+
+namespace bist {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+struct PlotOptions {
+  int width = 72;       ///< plot area columns
+  int height = 20;      ///< plot area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool y_from_zero = false;
+};
+
+/// Render one or more series into a text plot.
+std::string ascii_plot(const std::vector<Series>& series, const PlotOptions& opt);
+
+}  // namespace bist

@@ -1,0 +1,43 @@
+#include "util/rng.hpp"
+
+namespace bist {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1) | 1) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ull + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+  const auto rot = static_cast<std::uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint64_t Rng::next_u64() {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+std::uint32_t Rng::next_below(std::uint32_t bound) {
+  if (bound == 0) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint32_t threshold = static_cast<std::uint32_t>(-bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  // 53 random bits -> uniform in [0,1).
+  const std::uint64_t hi = next_u32() >> 5;   // 27 bits
+  const std::uint64_t lo = next_u32() >> 6;   // 26 bits
+  return static_cast<double>((hi << 26) | lo) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+}  // namespace bist

@@ -1,0 +1,33 @@
+#pragma once
+// Deterministic, seedable PRNG (PCG32) so every experiment in the benches is
+// reproducible bit-for-bit across runs and platforms.  <random> engines are
+// not guaranteed identical across standard libraries; PCG32 is.
+
+#include <cstdint>
+
+namespace bist {
+
+/// PCG32 (O'Neill). 64-bit state, 32-bit output, period 2^64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull,
+               std::uint64_t stream = 0xda3e39cb94b95bdbull);
+
+  std::uint32_t next_u32();
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli with probability p.
+  bool next_bool(double p = 0.5);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace bist

@@ -1,0 +1,48 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace bist {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, std::string_view seps) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || seps.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace bist

@@ -1,0 +1,25 @@
+#pragma once
+// Small string helpers shared by the .bench parser and the report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bist {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any character in `seps`, dropping empty tokens.
+std::vector<std::string_view> split(std::string_view s, std::string_view seps);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Upper-case an ASCII string.
+std::string to_upper(std::string_view s);
+
+/// printf-style number formatting helpers used by report tables.
+std::string format_fixed(double v, int decimals);
+
+}  // namespace bist
