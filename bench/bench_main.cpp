@@ -1,0 +1,253 @@
+// Fault-simulation throughput bench: seed BitParSim loop vs. SimKernel path,
+// plus the PPSFP fault simulator driven by a maximal-length LFSR, across the
+// ISCAS85 surrogate family.  Emits BENCH_fault_sim.json with gate-evals/sec
+// for both logic-sim paths (and their ratio) and faults-dropped/sec for the
+// fault simulator, establishing the repo's performance trajectory.
+//
+// Usage: bench_fault_sim [--patterns N] [--circuits c17,c6288s,...]
+//                        [--out FILE] [--plot]
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/iscas85_family.hpp"
+#include "fault/fault_sim.hpp"
+#include "netlist/stats.hpp"
+#include "sim/bitpar_sim.hpp"
+#include "sim/kernel.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct PathResult {
+  double seconds = 0;
+  std::uint64_t gate_evals = 0;
+  double evals_per_sec = 0;
+  std::uint64_t checksum = 0;  ///< XOR of PO words, cross-checked between paths
+};
+
+// Each path is timed `reps` times and the fastest pass is reported (the
+// per-pass work is ~ms scale, so min-of-N suppresses scheduler jitter).
+PathResult run_seed_path(const bist::Netlist& n,
+                         std::span<const bist::PatternBlock> blocks, int reps) {
+  bist::BitParSim sim(n);
+  PathResult r;
+  r.seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::uint64_t checksum = 0;
+    const auto t0 = Clock::now();
+    for (const auto& b : blocks) {
+      sim.simulate(b);
+      for (bist::GateId o : n.outputs()) checksum ^= sim.value(o) & b.lane_mask();
+    }
+    r.seconds = std::min(r.seconds, seconds_since(t0));
+    r.checksum = checksum;
+  }
+  r.gate_evals = std::uint64_t(n.logic_gate_count()) * 64 * blocks.size();
+  r.evals_per_sec = r.seconds > 0 ? double(r.gate_evals) / r.seconds : 0;
+  return r;
+}
+
+PathResult run_kernel_path(const bist::SimKernel& k,
+                           std::span<const bist::PatternBlock> blocks, int reps) {
+  bist::KernelSim sim(k);
+  PathResult r;
+  r.seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::uint64_t checksum = 0;
+    const auto t0 = Clock::now();
+    for (const auto& b : blocks) {
+      sim.simulate(b);
+      for (bist::KIndex o : k.outputs()) checksum ^= sim.value_at(o) & b.lane_mask();
+    }
+    r.seconds = std::min(r.seconds, seconds_since(t0));
+    r.checksum = checksum;
+  }
+  r.gate_evals = std::uint64_t(k.schedule().size() + k.constants().size()) *
+                 64 * blocks.size();
+  r.evals_per_sec = r.seconds > 0 ? double(r.gate_evals) / r.seconds : 0;
+  return r;
+}
+
+std::string json_num(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+namespace {
+
+int run_bench(int argc, char** argv);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_bench(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+namespace {
+
+int run_bench(int argc, char** argv) {
+  std::size_t patterns = 10240;
+  int reps = 5;
+  std::string out_path = "BENCH_fault_sim.json";
+  std::vector<std::string> names = bist::iscas85_names();
+  bool plot = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--patterns") {
+      patterns = std::stoul(next());
+    } else if (a == "--reps") {
+      reps = std::stoi(next());
+    } else if (a == "--out") {
+      out_path = next();
+    } else if (a == "--plot") {
+      plot = true;
+    } else if (a == "--circuits") {
+      names.clear();
+      const std::string list = next();  // keep alive: split returns views
+      for (auto tok : bist::split(list, ","))
+        names.emplace_back(tok);
+    } else {
+      std::cerr << "usage: bench_fault_sim [--patterns N] [--reps N] "
+                   "[--circuits a,b] [--out FILE] [--plot]\n";
+      return 2;
+    }
+  }
+  if (patterns == 0 || patterns % 64 != 0) patterns = ((patterns / 64) + 1) * 64;
+
+  std::ostringstream js;
+  js << "{\n  \"bench\": \"fault_sim\",\n  \"patterns\": " << patterns
+     << ",\n  \"circuits\": [\n";
+
+  double c6288_speedup = 0;
+  bool first = true;
+  for (const std::string& name : names) {
+    bist::Netlist n = bist::make_iscas85(name);
+    const bist::NetlistStats st = bist::compute_stats(n);
+    const bist::SimKernel kernel(n);
+
+    // One LFSR stream per use so both logic-sim paths see identical patterns.
+    const unsigned degree = 32;
+    bist::Lfsr lfsr = bist::Lfsr::maximal(degree, 0xBADC0FFEu);
+    const auto blocks = lfsr.blocks(n.input_count(), patterns);
+
+    const PathResult seed = run_seed_path(n, blocks, reps);
+    const PathResult kern = run_kernel_path(kernel, blocks, reps);
+    if (seed.checksum != kern.checksum) {
+      std::cerr << name << ": seed/kernel output mismatch!\n";
+      return 1;
+    }
+    const double speedup =
+        kern.evals_per_sec > 0 && seed.evals_per_sec > 0
+            ? kern.evals_per_sec / seed.evals_per_sec
+            : 0;
+    if (name.rfind("c6288", 0) == 0) c6288_speedup = speedup;
+
+    bist::FaultSimulator fsim(kernel);
+    const auto tf0 = Clock::now();
+    const bist::FaultSimResult fr = fsim.run(blocks);
+    const double fsecs = seconds_since(tf0);
+
+    std::cout << name << ": " << st.gates << " gates, seed "
+              << bist::format_fixed(seed.evals_per_sec / 1e6, 1)
+              << " Mevals/s, kernel "
+              << bist::format_fixed(kern.evals_per_sec / 1e6, 1)
+              << " Mevals/s (x" << bist::format_fixed(speedup, 2) << "), faults "
+              << fr.detected << "/" << fr.sim_faults << " detected (cov "
+              << bist::format_fixed(100 * fr.final_coverage(), 2) << "%, "
+              << bist::format_fixed(fsecs ? fr.detected / fsecs : 0, 0)
+              << " dropped/s)\n";
+
+    if (!first) js << ",\n";
+    first = false;
+    js << "    {\n      \"name\": \"" << name << "\",\n"
+       << "      \"gates\": " << st.gates << ",\n"
+       << "      \"inputs\": " << st.inputs << ",\n"
+       << "      \"outputs\": " << st.outputs << ",\n"
+       << "      \"depth\": " << st.depth << ",\n"
+       << "      \"logic_sim\": {\n"
+       << "        \"patterns\": " << patterns << ",\n"
+       << "        \"seed_bitpar\": {\"seconds\": " << json_num(seed.seconds)
+       << ", \"gate_evals\": " << seed.gate_evals
+       << ", \"gate_evals_per_sec\": " << json_num(seed.evals_per_sec) << "},\n"
+       << "        \"kernel\": {\"seconds\": " << json_num(kern.seconds)
+       << ", \"gate_evals\": " << kern.gate_evals
+       << ", \"gate_evals_per_sec\": " << json_num(kern.evals_per_sec) << "},\n"
+       << "        \"speedup_kernel_over_seed\": " << json_num(speedup) << "\n"
+       << "      },\n"
+       << "      \"fault_sim\": {\n"
+       << "        \"total_faults\": " << fr.total_faults << ",\n"
+       << "        \"collapsed_faults\": " << fr.sim_faults << ",\n"
+       << "        \"detected\": " << fr.detected << ",\n"
+       << "        \"coverage\": " << json_num(fr.final_coverage()) << ",\n"
+       << "        \"seconds\": " << json_num(fsecs) << ",\n"
+       << "        \"faults_dropped_per_sec\": "
+       << json_num(fsecs > 0 ? fr.detected / fsecs : 0) << ",\n"
+       << "        \"faulty_gate_evals\": " << fr.faulty_gate_evals << ",\n"
+       << "        \"faulty_gate_evals_per_sec\": "
+       << json_num(fsecs > 0 ? double(fr.faulty_gate_evals) / fsecs : 0) << "\n"
+       << "      }\n    }";
+
+    if (plot) {
+      bist::Series s;
+      s.name = name + " coverage";
+      const std::size_t step = std::max<std::size_t>(1, fr.coverage.size() / 256);
+      for (std::size_t p = 0; p < fr.coverage.size(); p += step) {
+        s.x.push_back(double(p + 1));
+        s.y.push_back(100 * fr.coverage[p]);
+      }
+      bist::PlotOptions po;
+      po.title = name + ": stuck-at coverage vs. LFSR patterns";
+      po.x_label = "patterns";
+      po.y_label = "%";
+      po.y_from_zero = true;
+      std::cout << bist::ascii_plot({s}, po);
+    }
+  }
+
+  js << "\n  ],\n  \"c6288_speedup_kernel_over_seed\": "
+     << json_num(c6288_speedup) << "\n}\n";
+
+  std::ofstream out(out_path);
+  out << js.str();
+  out.flush();
+  if (!out) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace

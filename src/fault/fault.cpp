@@ -1,0 +1,136 @@
+#include "fault/fault.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bist {
+namespace {
+
+std::uint64_t fault_key(GateId g, std::int16_t pin, std::uint8_t stuck) {
+  // pin is in [-1, 32766]; +1 keeps it non-negative and under 2^17.
+  return (std::uint64_t(g) << 18) | (std::uint64_t(pin + 1) << 1) | stuck;
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Keep the smaller index as root so representatives are deterministic.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Fault> enumerate_faults(const Netlist& n) {
+  if (!n.frozen()) throw std::invalid_argument("enumerate_faults: netlist not frozen");
+  std::vector<Fault> out;
+  for (GateId g = 0; g < n.gate_count(); ++g) {
+    out.push_back({g, -1, 0});
+    out.push_back({g, -1, 1});
+    const Gate& gg = n.gate(g);
+    for (std::size_t j = 0; j < gg.fanins.size(); ++j) {
+      if (n.fanouts(gg.fanins[j]).size() > 1) {
+        out.push_back({g, static_cast<std::int16_t>(j), 0});
+        out.push_back({g, static_cast<std::int16_t>(j), 1});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Fault> collapse_faults(const Netlist& n, std::span<const Fault> faults) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(faults.size() * 2);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    index.emplace(fault_key(faults[i].gate, faults[i].pin, faults[i].stuck), i);
+
+  auto lookup = [&](GateId g, std::int16_t pin, std::uint8_t stuck) {
+    auto it = index.find(fault_key(g, pin, stuck));
+    if (it == index.end())
+      throw std::logic_error("collapse_faults: fault list is not the full list");
+    return it->second;
+  };
+  // The fault on the connection into pin j of g: a branch fault when the
+  // driver net fans out, otherwise the driver's own output fault.
+  auto connection = [&](GateId g, std::size_t j, std::uint8_t stuck) {
+    const GateId driver = n.gate(g).fanins[j];
+    if (n.fanouts(driver).size() > 1)
+      return lookup(g, static_cast<std::int16_t>(j), stuck);
+    return lookup(driver, -1, stuck);
+  };
+
+  UnionFind uf(faults.size());
+  for (GateId g = 0; g < n.gate_count(); ++g) {
+    const Gate& gg = n.gate(g);
+    if (gg.fanins.empty()) continue;
+    const int c = controlling_value(gg.type);
+    const bool inv = is_inverting(gg.type);
+    if (gg.type == GateType::Buf || gg.type == GateType::Not) {
+      for (std::uint8_t v = 0; v < 2; ++v)
+        uf.unite(connection(g, 0, v), lookup(g, -1, v ^ (inv ? 1 : 0)));
+    } else if (c >= 0) {
+      const auto out_stuck = static_cast<std::uint8_t>(inv ? !c : c);
+      for (std::size_t j = 0; j < gg.fanins.size(); ++j)
+        uf.unite(connection(g, j, static_cast<std::uint8_t>(c)),
+                 lookup(g, -1, out_stuck));
+    }
+  }
+
+  // Dominance: the non-equivalent output fault of a multi-input gate with a
+  // controlling value is detected by any test for one of its input faults.
+  std::vector<char> droppable(faults.size(), 0);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = faults[i];
+    if (!f.is_output_fault()) continue;
+    const Gate& gg = n.gate(f.gate);
+    const int c = controlling_value(gg.type);
+    if (c < 0 || gg.fanins.size() < 2) continue;
+    if (n.is_output(f.gate)) continue;  // keep direct PO faults
+    const bool inv = is_inverting(gg.type);
+    if (f.stuck == static_cast<std::uint8_t>(inv ? c : !c)) droppable[i] = 1;
+  }
+
+  // A class survives unless every member is dominance-droppable; its
+  // representative is the lowest-index member (the union root).
+  std::vector<char> survives(faults.size(), 0);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (!droppable[i]) survives[uf.find(i)] = 1;
+
+  std::vector<Fault> out;
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (uf.find(i) == i && survives[i]) out.push_back(faults[i]);
+  return out;
+}
+
+std::string fault_name(const Netlist& n, const Fault& f) {
+  std::string s = n.gate(f.gate).name;
+  if (!f.is_output_fault()) {
+    s += "/";
+    s += std::to_string(f.pin);
+    s += "(";
+    s += n.gate(n.gate(f.gate).fanins[f.pin]).name;
+    s += ")";
+  }
+  s += f.stuck ? " s-a-1" : " s-a-0";
+  return s;
+}
+
+}  // namespace bist

@@ -1,0 +1,48 @@
+#pragma once
+// Single stuck-at fault model over a frozen netlist.
+//
+// Fault sites follow the classic stem/branch convention: every gate output
+// net gets s-a-0/s-a-1 faults, and every fanin connection whose driver has
+// fanout > 1 (a fanout branch, electrically distinct from the stem) gets its
+// own s-a-0/s-a-1 pair.  Fanout-free connections are the same net as the
+// driver output and are not enumerated separately.
+//
+// collapse_faults() applies structural equivalence + dominance collapsing
+// driven by the controlling_value()/is_inverting() hooks of the gate library:
+//   equivalence  input s-a-c  ==  output s-a-(inv ? !c : c)   (c controlling)
+//                Buf/Not input s-a-v  ==  output s-a-(v ^ inv)
+//   dominance    output s-a-(inv ? c : !c) of a multi-input gate with a
+//                controlling value is dominated by its input faults and is
+//                dropped (kept when the output is a primary output, so PO
+//                coverage stays directly reported).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace bist {
+
+struct Fault {
+  GateId gate = kNoGate;  ///< site gate
+  std::int16_t pin = -1;  ///< -1: fault on the gate output net; >=0: fanin pin
+  std::uint8_t stuck = 0; ///< stuck-at value, 0 or 1
+
+  bool is_output_fault() const { return pin < 0; }
+  bool operator==(const Fault&) const = default;
+};
+
+/// Full (uncollapsed) single stuck-at fault list in deterministic site order.
+std::vector<Fault> enumerate_faults(const Netlist& n);
+
+/// Equivalence + dominance collapsing.  Returns one representative per
+/// surviving equivalence class, in deterministic order.  The result is a
+/// subset of `faults`.
+std::vector<Fault> collapse_faults(const Netlist& n, std::span<const Fault> faults);
+
+/// "G16/2 s-a-1" style human-readable name.
+std::string fault_name(const Netlist& n, const Fault& f);
+
+}  // namespace bist

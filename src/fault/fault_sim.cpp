@@ -1,0 +1,148 @@
+#include "fault/fault_sim.hpp"
+
+#include <bit>
+#include <numeric>
+
+namespace bist {
+
+FaultSimulator::FaultSimulator(const SimKernel& k) : k_(&k) {
+  const auto all = enumerate_faults(k.netlist());
+  total_faults_ = all.size();
+  faults_ = collapse_faults(k.netlist(), all);
+  fval_.assign(k.gate_count(), 0);
+  touched_.assign(k.gate_count(), 0);
+  level_queues_.resize(k.max_level() + 1);
+  queued_.assign(k.gate_count(), 0);
+}
+
+FaultSimulator::FaultSimulator(const SimKernel& k, std::vector<Fault> faults,
+                               std::size_t total_faults)
+    : k_(&k), faults_(std::move(faults)), total_faults_(total_faults) {
+  fval_.assign(k.gate_count(), 0);
+  touched_.assign(k.gate_count(), 0);
+  level_queues_.resize(k.max_level() + 1);
+  queued_.assign(k.gate_count(), 0);
+}
+
+std::uint64_t FaultSimulator::propagate_fault(const Fault& f,
+                                              const std::uint64_t* good,
+                                              std::uint64_t lanes,
+                                              std::uint64_t* evals) {
+  const KIndex site = k_->index_of(f.gate);
+  const std::uint64_t stuck_word = f.stuck ? ~std::uint64_t{0} : 0;
+  const MicroOp* op = k_->op_data();
+  const std::uint64_t* inv = k_->invert_data();
+  const std::uint32_t* off = k_->fanin_offset_data();
+  const KIndex* fi = k_->fanin_data();
+
+  std::uint64_t site_val;
+  if (f.is_output_fault()) {
+    site_val = stuck_word;
+  } else {
+    // Branch fault: re-evaluate the site gate with the faulted pin forced.
+    const std::uint32_t b = off[site];
+    const std::uint32_t forced = b + static_cast<std::uint32_t>(f.pin);
+    // Fanin order is preserved by the kernel renumbering, so pin j of the
+    // netlist gate is slot b+j of the kernel CSR row.
+    site_val = eval_reduce(op[site], inv[site], b, off[site + 1],
+                           [&](std::uint32_t i) {
+                             return i == forced ? stuck_word : good[fi[i]];
+                           });
+    ++*evals;
+  }
+  const std::uint64_t site_diff = (site_val ^ good[site]) & lanes;
+  if (!site_diff) return 0;  // fault not activated by any lane
+
+  std::uint64_t det = 0;
+  fval_[site] = site_val;
+  touched_[site] = 1;
+  touched_list_.push_back(site);
+  if (k_->is_output(site)) det |= site_diff;
+
+  unsigned lo_level = k_->max_level() + 1;
+  for (KIndex u : k_->fanouts(site)) {
+    if (!queued_[u]) {
+      queued_[u] = 1;
+      level_queues_[k_->level(u)].push_back(u);
+      lo_level = std::min(lo_level, k_->level(u));
+    }
+  }
+  for (unsigned lv = lo_level; lv <= k_->max_level(); ++lv) {
+    auto& q = level_queues_[lv];
+    for (KIndex u : q) {
+      queued_[u] = 0;
+      const std::uint64_t v =
+          eval_reduce(op[u], inv[u], off[u], off[u + 1], [&](std::uint32_t i) {
+            const KIndex w = fi[i];
+            return touched_[w] ? fval_[w] : good[w];
+          });
+      ++*evals;
+      if (((v ^ good[u]) & lanes) == 0) continue;  // divergence dies here
+      fval_[u] = v;
+      touched_[u] = 1;
+      touched_list_.push_back(u);
+      if (k_->is_output(u)) det |= (v ^ good[u]) & lanes;
+      for (KIndex w : k_->fanouts(u)) {
+        if (!queued_[w]) {
+          queued_[w] = 1;
+          level_queues_[k_->level(w)].push_back(w);
+        }
+      }
+    }
+    q.clear();
+  }
+
+  for (KIndex u : touched_list_) touched_[u] = 0;
+  touched_list_.clear();
+  return det;
+}
+
+FaultSimResult FaultSimulator::run(std::span<const PatternBlock> blocks,
+                                   const FaultSimOptions& opt) {
+  FaultSimResult r;
+  r.total_faults = total_faults_;
+  r.sim_faults = faults_.size();
+  r.first_detected.assign(faults_.size(), -1);
+
+  KernelSim good(*k_);
+  std::vector<std::uint32_t> live(faults_.size());
+  std::iota(live.begin(), live.end(), 0u);
+
+  std::size_t base = 0;
+  for (const PatternBlock& blk : blocks) {
+    good.simulate(blk);
+    const std::uint64_t lanes = blk.lane_mask();
+    const std::uint64_t* gv = good.values().data();
+    for (std::size_t i = 0; i < live.size();) {
+      const std::uint32_t fidx = live[i];
+      const std::uint64_t det =
+          propagate_fault(faults_[fidx], gv, lanes, &r.faulty_gate_evals);
+      if (det && r.first_detected[fidx] < 0) {
+        r.first_detected[fidx] =
+            static_cast<std::int64_t>(base) + std::countr_zero(det);
+        ++r.detected;
+      }
+      if (det && opt.drop_detected) {
+        live[i] = live.back();
+        live.pop_back();
+        continue;
+      }
+      ++i;
+    }
+    base += blk.count;
+  }
+  r.patterns = base;
+
+  std::vector<std::uint32_t> hits(r.patterns, 0);
+  for (std::int64_t fd : r.first_detected)
+    if (fd >= 0) ++hits[static_cast<std::size_t>(fd)];
+  r.coverage.assign(r.patterns, 0.0);
+  std::size_t running = 0;
+  for (std::size_t p = 0; p < r.patterns; ++p) {
+    running += hits[p];
+    r.coverage[p] = r.sim_faults ? double(running) / double(r.sim_faults) : 0.0;
+  }
+  return r;
+}
+
+}  // namespace bist

@@ -1,0 +1,77 @@
+#pragma once
+// PPSFP (parallel-pattern single-fault propagation) stuck-at fault simulator.
+//
+// For each 64-pattern block the good machine is evaluated once on the
+// SimKernel; then each live fault is injected at its site word and the
+// divergence is propagated event-driven through the site's fanout cone in
+// level order (the same levelized scheme as TernarySim, but on 64-bit
+// pattern words).  A fault whose faulty word differs from the good word at
+// any primary output lane is detected; detected faults are dropped from the
+// live list so the per-block cost shrinks as coverage accumulates — the
+// standard shape of an LFSR coverage-curve computation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/kernel.hpp"
+
+namespace bist {
+
+struct FaultSimOptions {
+  bool drop_detected = true;  ///< stop simulating a fault once detected
+};
+
+struct FaultSimResult {
+  std::size_t total_faults = 0;  ///< uncollapsed fault list size
+  std::size_t sim_faults = 0;    ///< simulated (collapsed) fault list size
+  std::size_t detected = 0;
+  std::size_t patterns = 0;
+  /// Per simulated fault: index of the first detecting pattern, -1 undetected.
+  std::vector<std::int64_t> first_detected;
+  /// Per pattern: fraction of simulated faults detected by patterns [0..p].
+  /// Monotone non-decreasing by construction.
+  std::vector<double> coverage;
+  /// Faulty-machine gate evaluations performed (cone-limited work measure).
+  std::uint64_t faulty_gate_evals = 0;
+
+  double final_coverage() const { return coverage.empty() ? 0.0 : coverage.back(); }
+};
+
+class FaultSimulator {
+ public:
+  /// Enumerates and collapses the stuck-at fault list of k.netlist().
+  /// The kernel must outlive the simulator.
+  explicit FaultSimulator(const SimKernel& k);
+
+  /// Simulate an explicit (already collapsed) fault list; `total_faults` is
+  /// the size of the uncollapsed list it came from (reported in results).
+  FaultSimulator(const SimKernel& k, std::vector<Fault> faults,
+                 std::size_t total_faults);
+
+  std::span<const Fault> faults() const { return faults_; }
+
+  /// Run over the pattern blocks with fault dropping; fills the coverage
+  /// curve.  Repeatable: each call starts from the full fault list.
+  FaultSimResult run(std::span<const PatternBlock> blocks,
+                     const FaultSimOptions& opt = {});
+
+ private:
+  std::uint64_t propagate_fault(const Fault& f, const std::uint64_t* good,
+                                std::uint64_t lanes, std::uint64_t* evals);
+
+  const SimKernel* k_;
+  std::vector<Fault> faults_;
+  std::size_t total_faults_ = 0;
+
+  // Per-fault propagation scratch in kernel-index space, reset via
+  // touched_list_ after each fault.
+  std::vector<std::uint64_t> fval_;
+  std::vector<char> touched_;
+  std::vector<KIndex> touched_list_;
+  std::vector<std::vector<KIndex>> level_queues_;
+  std::vector<char> queued_;
+};
+
+}  // namespace bist

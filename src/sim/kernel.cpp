@@ -1,0 +1,117 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bist {
+
+SimKernel::SimKernel(const Netlist& n) : n_(&n) {
+  if (!n.frozen()) throw std::invalid_argument("SimKernel: netlist not frozen");
+  const std::size_t cnt = n.gate_count();
+
+  // Level-order renumbering (stable on GateId within a level, so the kernel
+  // layout is deterministic and fanin-safe: every fanin has a lower level,
+  // hence a smaller kernel index).
+  order_.resize(cnt);
+  std::iota(order_.begin(), order_.end(), GateId{0});
+  std::stable_sort(order_.begin(), order_.end(), [&](GateId a, GateId b) {
+    return n.level(a) < n.level(b);
+  });
+  kindex_.resize(cnt);
+  for (KIndex k = 0; k < cnt; ++k) kindex_[order_[k]] = k;
+
+  types_.resize(cnt);
+  levels_.resize(cnt);
+  is_output_.resize(cnt);
+  fanin_offset_.assign(cnt + 1, 0);
+  for (KIndex k = 0; k < cnt; ++k) {
+    const Gate& gg = n.gate(order_[k]);
+    types_[k] = gg.type;
+    levels_[k] = n.level(order_[k]);
+    is_output_[k] = n.is_output(order_[k]);
+    fanin_offset_[k + 1] = fanin_offset_[k] +
+                           static_cast<std::uint32_t>(gg.fanins.size());
+  }
+  fanin_flat_.reserve(fanin_offset_[cnt]);
+  for (KIndex k = 0; k < cnt; ++k)
+    for (GateId f : n.gate(order_[k]).fanins)
+      fanin_flat_.push_back(kindex_[f]);
+
+  fanout_offset_.assign(cnt + 1, 0);
+  for (KIndex f : fanin_flat_) ++fanout_offset_[f + 1];
+  for (std::size_t i = 1; i <= cnt; ++i) fanout_offset_[i] += fanout_offset_[i - 1];
+  fanout_flat_.assign(fanout_offset_[cnt], 0);
+  std::vector<std::uint32_t> cursor(fanout_offset_.begin(), fanout_offset_.end() - 1);
+  for (KIndex k = 0; k < cnt; ++k)
+    for (KIndex f : fanins(k)) fanout_flat_[cursor[f]++] = k;
+
+  inputs_.reserve(n.inputs().size());
+  for (GateId g : n.inputs()) inputs_.push_back(kindex_[g]);
+  outputs_.reserve(n.outputs().size());
+  for (GateId g : n.outputs()) outputs_.push_back(kindex_[g]);
+  max_level_ = n.max_level();
+
+  ops_.assign(cnt, MicroOp::Copy);
+  inv_.assign(cnt, 0);
+  for (KIndex k = 0; k < cnt; ++k) {
+    switch (types_[k]) {
+      case GateType::And: ops_[k] = MicroOp::And; break;
+      case GateType::Nand: ops_[k] = MicroOp::And; inv_[k] = ~std::uint64_t{0}; break;
+      case GateType::Or: ops_[k] = MicroOp::Or; break;
+      case GateType::Nor: ops_[k] = MicroOp::Or; inv_[k] = ~std::uint64_t{0}; break;
+      case GateType::Xor: ops_[k] = MicroOp::Xor; break;
+      case GateType::Xnor: ops_[k] = MicroOp::Xor; inv_[k] = ~std::uint64_t{0}; break;
+      case GateType::Not: inv_[k] = ~std::uint64_t{0}; break;
+      case GateType::Buf:
+      case GateType::Input:
+      case GateType::Const0:
+      case GateType::Const1: break;
+    }
+  }
+
+  schedule_.reserve(cnt - inputs_.size());
+  for (KIndex k = 0; k < cnt; ++k) {
+    if (types_[k] == GateType::Input) continue;
+    if (fanin_offset_[k] == fanin_offset_[k + 1]) {
+      constants_.push_back(k);  // Const0/Const1
+    } else {
+      schedule_.push_back(k);
+    }
+  }
+}
+
+KernelSim::KernelSim(const SimKernel& k) : k_(&k), values_(k.gate_count(), 0) {
+  // Constants never change; evaluate them once here.
+  for (KIndex c : k.constants())
+    values_[c] = k.type(c) == GateType::Const1 ? ~std::uint64_t{0} : 0;
+}
+
+void KernelSim::simulate(const PatternBlock& block) {
+  if (block.width != k_->inputs().size())
+    throw std::invalid_argument("KernelSim: block width mismatch");
+
+  const std::span<const KIndex> pis = k_->inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    values_[pis[i]] = block.input_words[i];
+
+  const MicroOp* op = k_->op_data();
+  const std::uint64_t* inv = k_->invert_data();
+  const std::uint32_t* off = k_->fanin_offset_data();
+  const KIndex* fi = k_->fanin_data();
+  std::uint64_t* val = values_.data();
+
+  for (KIndex g : k_->schedule()) {
+    val[g] = eval_reduce(op[g], inv[g], off[g], off[g + 1],
+                         [&](std::uint32_t i) { return val[fi[i]]; });
+  }
+}
+
+std::vector<std::uint64_t> KernelSim::output_words() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(k_->outputs().size());
+  for (KIndex o : k_->outputs()) out.push_back(values_[o]);
+  return out;
+}
+
+}  // namespace bist

@@ -46,13 +46,25 @@ Ternary eval_gate_ternary(GateType t, std::span<const Ternary> ins) {
 }
 
 TernarySim::TernarySim(const Netlist& n)
-    : n_(&n),
-      values_(n.gate_count(), Ternary::VX),
-      forced_(n.gate_count(), Ternary::VX),
-      has_force_(n.gate_count(), 0),
-      level_queues_(n.max_level() + 1),
-      queued_(n.gate_count(), 0) {
-  if (!n.frozen()) throw std::invalid_argument("TernarySim: netlist not frozen");
+    : owned_kernel_(std::make_unique<SimKernel>(n)), k_(owned_kernel_.get()) {
+  init();
+}
+
+TernarySim::TernarySim(const SimKernel& k) : k_(&k) { init(); }
+
+void TernarySim::init() {
+  // compute() gathers fanins into a fixed Ternary[64] buffer; wider gates
+  // are legal in the netlist (and fine in KernelSim) but not representable
+  // here.
+  const std::uint32_t* off = k_->fanin_offset_data();
+  for (KIndex g = 0; g < k_->gate_count(); ++g)
+    if (off[g + 1] - off[g] > 64)
+      throw std::invalid_argument("TernarySim: gate fanin > 64 unsupported");
+  values_.assign(k_->gate_count(), Ternary::VX);
+  forced_.assign(k_->gate_count(), Ternary::VX);
+  has_force_.assign(k_->gate_count(), 0);
+  level_queues_.resize(k_->max_level() + 1);
+  queued_.assign(k_->gate_count(), 0);
   full_eval();
 }
 
@@ -63,65 +75,65 @@ void TernarySim::reset() {
   full_eval();
 }
 
-void TernarySim::force(GateId g, Ternary v) {
-  forced_[g] = v;
-  has_force_[g] = 1;
-  propagate_from(g);
+void TernarySim::force_at(KIndex k, Ternary v) {
+  forced_[k] = v;
+  has_force_[k] = 1;
+  propagate_from(k);
 }
 
-void TernarySim::unforce(GateId g) {
-  has_force_[g] = 0;
-  propagate_from(g);
+void TernarySim::unforce_at(KIndex k) {
+  has_force_[k] = 0;
+  propagate_from(k);
 }
 
-Ternary TernarySim::compute(GateId g) const {
-  if (has_force_[g]) return forced_[g];
-  const Gate& gg = n_->gate(g);
-  if (gg.type == GateType::Input) return values_[g];  // kept as assigned
+Ternary TernarySim::compute(KIndex k) const {
+  if (has_force_[k]) return forced_[k];
+  if (k_->type(k) == GateType::Input) return values_[k];  // kept as assigned
   Ternary fis[64];
-  const std::size_t nin = gg.fanins.size();
-  for (std::size_t i = 0; i < nin; ++i) fis[i] = values_[gg.fanins[i]];
-  return eval_gate_ternary(gg.type, {fis, nin});
+  const std::span<const KIndex> fanins = k_->fanins(k);
+  const std::size_t nin = fanins.size();
+  for (std::size_t i = 0; i < nin; ++i) fis[i] = values_[fanins[i]];
+  return eval_gate_ternary(k_->type(k), {fis, nin});
 }
 
 void TernarySim::set_input(std::size_t input_idx, Ternary v) {
-  const GateId g = n_->inputs()[input_idx];
+  const KIndex g = k_->inputs()[input_idx];
   const Ternary nv = has_force_[g] ? forced_[g] : v;
   if (!has_force_[g]) values_[g] = v;
   if (values_[g] != nv && has_force_[g]) values_[g] = nv;
   propagate_from(g);
 }
 
-void TernarySim::propagate_from(GateId root) {
+void TernarySim::propagate_from(KIndex root) {
   // Levelized event propagation: start with root's recomputation, then walk
   // strictly increasing levels so every gate is evaluated at most once.
-  const Ternary nv = (n_->gate(root).type == GateType::Input && !has_force_[root])
+  const Ternary nv = (k_->type(root) == GateType::Input && !has_force_[root])
                          ? values_[root]
                          : compute(root);
   const bool root_changed = values_[root] != nv;
   values_[root] = nv;
-  if (!root_changed && n_->gate(root).type != GateType::Input) return;
+  if (!root_changed && k_->type(root) != GateType::Input) return;
 
-  unsigned lo_level = n_->max_level() + 1;
-  for (GateId f : n_->fanouts(root)) {
+  unsigned lo_level = k_->max_level() + 1;
+  for (KIndex f : k_->fanouts(root)) {
     if (!queued_[f]) {
       queued_[f] = 1;
-      level_queues_[n_->level(f)].push_back(f);
-      lo_level = std::min(lo_level, n_->level(f));
+      level_queues_[k_->level(f)].push_back(f);
+      lo_level = std::min(lo_level, k_->level(f));
     }
   }
-  for (unsigned lv = lo_level; lv <= n_->max_level(); ++lv) {
+  for (unsigned lv = lo_level; lv <= k_->max_level(); ++lv) {
     auto& q = level_queues_[lv];
     for (std::size_t i = 0; i < q.size(); ++i) {
-      const GateId g = q[i];
+      const KIndex g = q[i];
       queued_[g] = 0;
       const Ternary v = compute(g);
       if (v == values_[g]) continue;
       values_[g] = v;
-      for (GateId f : n_->fanouts(g)) {
+      for (KIndex f : k_->fanouts(g)) {
         if (!queued_[f]) {
           queued_[f] = 1;
-          level_queues_[n_->level(f)].push_back(f);
+          level_queues_[k_->level(f)].push_back(f);
         }
       }
     }
@@ -130,9 +142,9 @@ void TernarySim::propagate_from(GateId root) {
 }
 
 void TernarySim::full_eval() {
-  for (GateId g = 0; g < n_->gate_count(); ++g) {
+  for (KIndex g = 0; g < k_->gate_count(); ++g) {
     if (has_force_[g]) { values_[g] = forced_[g]; continue; }
-    if (n_->gate(g).type == GateType::Input) continue;  // keep assignment
+    if (k_->type(g) == GateType::Input) continue;  // keep assignment
     values_[g] = compute(g);
   }
 }

@@ -8,10 +8,12 @@
 // assign/unassign cycle cheap.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/kernel.hpp"
 
 namespace bist {
 
@@ -28,15 +30,19 @@ Ternary eval_gate_ternary(GateType t, std::span<const Ternary> ins);
 /// to inject the fault site value in the faulty machine).
 class TernarySim {
  public:
+  /// Compiles its own SimKernel from the netlist (the eval loop runs over the
+  /// flat kernel arrays, not the per-gate heap representation).
   explicit TernarySim(const Netlist& n);
+  /// Share an existing kernel (must outlive the simulator).
+  explicit TernarySim(const SimKernel& k);
 
   /// Reset every signal to X and clear all forces.
   void reset();
 
   /// Force gate g to value v regardless of its fanins (fault injection).
   /// Takes effect on the next propagate()/set_input().
-  void force(GateId g, Ternary v);
-  void unforce(GateId g);
+  void force(GateId g, Ternary v) { force_at(k_->index_of(g), v); }
+  void unforce(GateId g) { unforce_at(k_->index_of(g)); }
 
   /// Assign a primary input and propagate the change through its cone.
   void set_input(std::size_t input_idx, Ternary v);
@@ -44,18 +50,23 @@ class TernarySim {
   /// Recompute everything from scratch (after bulk changes).
   void full_eval();
 
-  Ternary value(GateId g) const { return values_[g]; }
+  Ternary value(GateId g) const { return values_[k_->index_of(g)]; }
 
  private:
-  void propagate_from(GateId g);
-  Ternary compute(GateId g) const;
+  void init();  ///< shared constructor tail: size scratch, validate, eval
+  void force_at(KIndex k, Ternary v);
+  void unforce_at(KIndex k);
+  void propagate_from(KIndex k);
+  Ternary compute(KIndex k) const;
 
-  const Netlist* n_;
+  std::unique_ptr<SimKernel> owned_kernel_;  // set by the Netlist constructor
+  const SimKernel* k_;
+  // All per-gate state below is in kernel-index space.
   std::vector<Ternary> values_;
   std::vector<Ternary> forced_;      // VX = not forced
   std::vector<char> has_force_;
   // Levelized event scheduling scratch.
-  std::vector<std::vector<GateId>> level_queues_;
+  std::vector<std::vector<KIndex>> level_queues_;
   std::vector<char> queued_;
 };
 

@@ -1,0 +1,112 @@
+#include "tpg/lfsr.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace bist {
+namespace {
+
+// Maximal-length tap masks, degrees 2..32 (the standard XOR-form tables;
+// comments list the tapped stages, 1-based from the feedback end, so
+// [4,3] = taps mask bits {3,2}).  Each primitive polynomial's reciprocal is
+// also primitive, so either stage-numbering convention yields full period.
+constexpr std::uint64_t kPrimitiveTaps[33] = {
+    0, 0,
+    /* 2: [2,1]        */ 0x3,
+    /* 3: [3,2]        */ 0x6,
+    /* 4: [4,3]        */ 0xC,
+    /* 5: [5,3]        */ 0x14,
+    /* 6: [6,5]        */ 0x30,
+    /* 7: [7,6]        */ 0x60,
+    /* 8: [8,6,5,4]    */ 0xB8,
+    /* 9: [9,5]        */ 0x110,
+    /*10: [10,7]       */ 0x240,
+    /*11: [11,9]       */ 0x500,
+    /*12: [12,6,4,1]   */ 0x829,
+    /*13: [13,4,3,1]   */ 0x100D,
+    /*14: [14,5,3,1]   */ 0x2015,
+    /*15: [15,14]      */ 0x6000,
+    /*16: [16,15,13,4] */ 0xD008,
+    /*17: [17,14]      */ 0x12000,
+    /*18: [18,11]      */ 0x20400,
+    /*19: [19,6,2,1]   */ 0x40023,
+    /*20: [20,17]      */ 0x90000,
+    /*21: [21,19]      */ 0x140000,
+    /*22: [22,21]      */ 0x300000,
+    /*23: [23,18]      */ 0x420000,
+    /*24: [24,23,22,17]*/ 0xE10000,
+    /*25: [25,22]      */ 0x1200000,
+    /*26: [26,6,2,1]   */ 0x2000023,
+    /*27: [27,5,2,1]   */ 0x4000013,
+    /*28: [28,25]      */ 0x9000000,
+    /*29: [29,27]      */ 0x14000000,
+    /*30: [30,6,4,1]   */ 0x20000029,
+    /*31: [31,28]      */ 0x48000000,
+    /*32: [32,22,2,1]  */ 0x80200003,
+};
+
+}  // namespace
+
+Lfsr::Lfsr(unsigned degree, std::uint64_t taps, std::uint64_t seed)
+    : degree_(degree), taps_(taps) {
+  if (degree < 2 || degree > 64)
+    throw std::invalid_argument("Lfsr: degree must be in [2, 64]");
+  mask_ = degree == 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << degree) - 1);
+  taps_ &= mask_;
+  if (taps_ == 0) throw std::invalid_argument("Lfsr: empty tap set");
+  if (!((taps_ >> (degree - 1)) & 1))
+    throw std::invalid_argument("Lfsr: output stage (bit degree-1) must be tapped");
+  state_ = seed & mask_;
+  if (state_ == 0)
+    throw std::invalid_argument("Lfsr: all-zero seed is a fixed point");
+}
+
+std::uint64_t Lfsr::primitive_taps(unsigned degree) {
+  if (degree < 2 || degree > 32)
+    throw std::invalid_argument("Lfsr::primitive_taps: degree must be in [2, 32]");
+  return kPrimitiveTaps[degree];
+}
+
+Lfsr Lfsr::maximal(unsigned degree, std::uint64_t seed) {
+  return Lfsr(degree, primitive_taps(degree), seed);
+}
+
+bool Lfsr::step() {
+  const bool out = (state_ >> (degree_ - 1)) & 1;
+  const std::uint64_t fb = std::popcount(state_ & taps_) & 1u;
+  state_ = ((state_ << 1) | fb) & mask_;
+  return out;
+}
+
+void Lfsr::fill(BitVec& bv) {
+  for (std::size_t i = 0; i < bv.size(); ++i) bv.set(i, step());
+}
+
+BitVec Lfsr::next_pattern(std::size_t width) {
+  BitVec bv(width);
+  fill(bv);
+  return bv;
+}
+
+PatternBlock Lfsr::next_block(std::size_t width, std::size_t count) {
+  if (count > 64) throw std::invalid_argument("Lfsr::next_block: count > 64");
+  PatternBlock b;
+  b.width = width;
+  b.count = count;
+  b.input_words.assign(width, 0);
+  for (std::size_t lane = 0; lane < count; ++lane)
+    for (std::size_t i = 0; i < width; ++i)
+      if (step()) b.input_words[i] |= std::uint64_t{1} << lane;
+  return b;
+}
+
+std::vector<PatternBlock> Lfsr::blocks(std::size_t width, std::size_t total) {
+  std::vector<PatternBlock> out;
+  out.reserve((total + 63) / 64);
+  for (std::size_t off = 0; off < total; off += 64)
+    out.push_back(next_block(width, std::min<std::size_t>(64, total - off)));
+  return out;
+}
+
+}  // namespace bist

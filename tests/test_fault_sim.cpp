@@ -1,0 +1,97 @@
+// Fault model + PPSFP simulator checks: collapsing fires and is exact on
+// C17, coverage curves are monotone on every ISCAS surrogate, exhaustive
+// patterns detect every C17 fault, and dropping does not change detection.
+
+#include <string>
+#include <vector>
+
+#include "circuits/c17.hpp"
+#include "circuits/iscas85_family.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/kernel.hpp"
+#include "test_util.hpp"
+#include "tpg/lfsr.hpp"
+
+using namespace bist;
+
+int main() {
+  // --- C17: exact fault accounting --------------------------------------
+  {
+    const Netlist c17 = make_c17();
+    const auto all = enumerate_faults(c17);
+    // 11 output nets * 2 + 6 fanout branches * 2 (stems G3, G11, G16 each
+    // feed two gates)
+    CHECK_EQ(all.size(), 34u);
+    const auto collapsed = collapse_faults(c17, all);
+    // 22 equivalence classes (the textbook C17 number), minus the two
+    // dominance-dropped internal NAND output s-a-0 faults (G11, G16; G22 and
+    // G23 are POs and stay).
+    CHECK_EQ(collapsed.size(), 20u);
+    CHECK(collapsed.size() < all.size());
+    for (const Fault& f : collapsed) CHECK(!fault_name(c17, f).empty());
+
+    // exhaustive 32 patterns detect every collapsed fault
+    const SimKernel k(c17);
+    std::vector<BitVec> pats;
+    for (unsigned v = 0; v < 32; ++v) {
+      BitVec p(5);
+      for (unsigned i = 0; i < 5; ++i) p.set(i, (v >> i) & 1);
+      pats.push_back(p);
+    }
+    const auto blocks = pack_all(pats, 5);
+    FaultSimulator fsim(k);
+    const FaultSimResult r = fsim.run(blocks);
+    CHECK_EQ(r.total_faults, 34u);
+    CHECK_EQ(r.sim_faults, 20u);
+    CHECK_EQ(r.detected, 20u);
+    CHECK_EQ(r.patterns, 32u);
+    CHECK_EQ(r.final_coverage(), 1.0);
+    CHECK_EQ(r.coverage.size(), 32u);
+    for (std::int64_t fd : r.first_detected) CHECK(fd >= 0 && fd < 32);
+
+    // no-dropping run detects the same faults at the same first patterns
+    FaultSimOptions keep;
+    keep.drop_detected = false;
+    const FaultSimResult r2 = fsim.run(blocks, keep);
+    CHECK_EQ(r2.detected, r.detected);
+    CHECK(r2.first_detected == r.first_detected);
+  }
+
+  // --- whole surrogate family: monotone coverage, collapsing fires ------
+  for (const std::string& name : iscas85_names()) {
+    const Netlist n = make_iscas85(name);
+    const SimKernel k(n);
+    FaultSimulator fsim(k);
+
+    Lfsr lfsr = Lfsr::maximal(32, 0xACE1);
+    const auto blocks = lfsr.blocks(n.input_count(), 512);
+    const FaultSimResult r = fsim.run(blocks);
+
+    CHECK(r.sim_faults < r.total_faults);  // collapsing actually fired
+    CHECK(r.sim_faults > 0u);
+    CHECK_EQ(r.patterns, 512u);
+    CHECK_EQ(r.coverage.size(), 512u);
+    bool monotone = true;
+    for (std::size_t p = 1; p < r.coverage.size(); ++p)
+      if (r.coverage[p] < r.coverage[p - 1]) monotone = false;
+    CHECK(monotone);
+    CHECK(r.coverage.front() >= 0.0);
+    CHECK(r.final_coverage() <= 1.0);
+    // detected count consistent with the curve and first_detected
+    std::size_t firsts = 0;
+    for (std::int64_t fd : r.first_detected)
+      if (fd >= 0) {
+        ++firsts;
+        CHECK(fd < std::int64_t(r.patterns));
+      }
+    CHECK_EQ(firsts, r.detected);
+    const double expect_final =
+        r.sim_faults ? double(r.detected) / double(r.sim_faults) : 0.0;
+    CHECK_EQ(r.final_coverage(), expect_final);
+    // random patterns find a healthy fraction of faults on every surrogate
+    CHECK(r.final_coverage() > 0.5);
+  }
+
+  return bist_test::summary();
+}

@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <vector>
+
+#include "circuits/c17.hpp"
+#include "circuits/iscas85_family.hpp"
+#include "sim/kernel.hpp"
+#include "test_util.hpp"
+
+using namespace bist;
+
+namespace {
+
+void check_kernel_matches(const Netlist& n) {
+  const SimKernel k(n);
+  CHECK_EQ(k.gate_count(), n.gate_count());
+  CHECK_EQ(k.max_level(), n.max_level());
+
+  // index_of/gate_of are inverse permutations
+  std::vector<char> seen(n.gate_count(), 0);
+  for (KIndex ki = 0; ki < n.gate_count(); ++ki) {
+    const GateId g = k.gate_of(ki);
+    CHECK(g < n.gate_count());
+    CHECK(!seen[g]);
+    seen[g] = 1;
+    CHECK_EQ(k.index_of(g), ki);
+  }
+
+  // kernel arrays mirror the netlist through the permutation
+  for (KIndex ki = 0; ki < n.gate_count(); ++ki) {
+    const GateId g = k.gate_of(ki);
+    const Gate& gg = n.gate(g);
+    CHECK(k.type(ki) == gg.type);
+    CHECK_EQ(k.level(ki), n.level(g));
+    CHECK_EQ(k.is_output(ki), n.is_output(g));
+    const auto kf = k.fanins(ki);
+    CHECK_EQ(kf.size(), gg.fanins.size());
+    for (std::size_t j = 0; j < kf.size(); ++j)
+      CHECK_EQ(k.gate_of(kf[j]), gg.fanins[j]);  // fanin order preserved
+    // every fanout edge round-trips
+    const auto ko = k.fanouts(ki);
+    const auto no = n.fanouts(g);
+    CHECK_EQ(ko.size(), no.size());
+    for (KIndex fo : ko) {
+      const GateId fg = k.gate_of(fo);
+      CHECK_EQ(std::count(no.begin(), no.end(), fg), 1);
+    }
+    // kernel index order is level order: fanins always come earlier
+    for (KIndex f : kf) CHECK(f < ki);
+  }
+
+  // levels are non-decreasing in kernel order (the renumbering invariant)
+  for (KIndex ki = 1; ki < n.gate_count(); ++ki)
+    CHECK(k.level(ki) >= k.level(ki - 1));
+
+  // PI/PO lists translate back to the netlist's
+  CHECK_EQ(k.inputs().size(), n.inputs().size());
+  for (std::size_t i = 0; i < n.inputs().size(); ++i)
+    CHECK_EQ(k.gate_of(k.inputs()[i]), n.inputs()[i]);
+  CHECK_EQ(k.outputs().size(), n.outputs().size());
+  for (std::size_t i = 0; i < n.outputs().size(); ++i)
+    CHECK_EQ(k.gate_of(k.outputs()[i]), n.outputs()[i]);
+
+  // schedule: exactly the gates with fanins, ascending kernel index;
+  // constants() holds the fanin-less non-inputs
+  const auto sched = k.schedule();
+  CHECK_EQ(sched.size() + k.constants().size(), n.logic_gate_count());
+  KIndex prev = 0;
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    CHECK(k.type(sched[i]) != GateType::Input);
+    CHECK(!k.fanins(sched[i]).empty());
+    if (i > 0) CHECK(sched[i] > prev);
+    prev = sched[i];
+  }
+  for (KIndex c : k.constants())
+    CHECK(k.type(c) == GateType::Const0 || k.type(c) == GateType::Const1);
+
+  // micro-op lowering agrees with the gate types
+  for (KIndex ki = 0; ki < n.gate_count(); ++ki) {
+    const bool inverted = k.invert_mask(ki) == ~std::uint64_t{0};
+    CHECK(k.invert_mask(ki) == 0 || inverted);
+    switch (k.type(ki)) {
+      case GateType::And: CHECK(k.op(ki) == MicroOp::And && !inverted); break;
+      case GateType::Nand: CHECK(k.op(ki) == MicroOp::And && inverted); break;
+      case GateType::Or: CHECK(k.op(ki) == MicroOp::Or && !inverted); break;
+      case GateType::Nor: CHECK(k.op(ki) == MicroOp::Or && inverted); break;
+      case GateType::Xor: CHECK(k.op(ki) == MicroOp::Xor && !inverted); break;
+      case GateType::Xnor: CHECK(k.op(ki) == MicroOp::Xor && inverted); break;
+      case GateType::Not: CHECK(k.op(ki) == MicroOp::Copy && inverted); break;
+      case GateType::Buf: CHECK(k.op(ki) == MicroOp::Copy && !inverted); break;
+      default: break;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  check_kernel_matches(make_c17());
+  check_kernel_matches(make_iscas85("c432s"));
+  check_kernel_matches(make_iscas85("c880s"));
+
+  // unfrozen netlist is rejected
+  Netlist n("raw");
+  const GateId a = n.add_input("a");
+  n.add_output(n.add_gate(GateType::Not, {a}, "g"));
+  CHECK_THROWS(SimKernel{n});
+
+  return bist_test::summary();
+}

@@ -1,0 +1,102 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuits/c17.hpp"
+#include "netlist/netlist.hpp"
+#include "test_util.hpp"
+
+using namespace bist;
+
+namespace {
+
+// Fanout CSR, levels, input_index, is_output must agree with the gate array.
+void check_freeze_invariants(const Netlist& n) {
+  CHECK(n.frozen());
+  std::size_t fanout_edges = 0;
+  for (GateId g = 0; g < n.gate_count(); ++g) {
+    const Gate& gg = n.gate(g);
+    // levels: inputs at 0, otherwise 1 + max fanin level
+    unsigned expect = 0;
+    for (GateId f : gg.fanins) expect = std::max(expect, n.level(f) + 1);
+    CHECK_EQ(n.level(g), expect);
+    CHECK(n.level(g) <= n.max_level());
+    // every fanin edge appears exactly once in the driver's fanout list
+    for (GateId f : gg.fanins) {
+      const auto fo = n.fanouts(f);
+      CHECK_EQ(std::count(fo.begin(), fo.end(), g), 1);
+    }
+    fanout_edges += gg.fanins.size();
+    // input_index round trip
+    if (gg.type == GateType::Input) {
+      CHECK(n.input_index(g) != ~0u);
+      CHECK_EQ(n.inputs()[n.input_index(g)], g);
+    } else {
+      CHECK_EQ(n.input_index(g), ~0u);
+    }
+    // name lookup round trip
+    CHECK_EQ(n.find(gg.name), g);
+  }
+  std::size_t fanout_total = 0;
+  for (GateId g = 0; g < n.gate_count(); ++g) fanout_total += n.fanouts(g).size();
+  CHECK_EQ(fanout_total, fanout_edges);
+  for (GateId o : n.outputs()) CHECK(n.is_output(o));
+  std::size_t marked = 0;
+  for (GateId g = 0; g < n.gate_count(); ++g)
+    if (n.is_output(g)) ++marked;
+  CHECK(marked <= n.output_count());  // duplicates in outputs() collapse
+}
+
+}  // namespace
+
+int main() {
+  check_freeze_invariants(make_c17());
+
+  // hand-built netlist with a stem and reconvergence
+  Netlist n("tiny");
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId g1 = n.add_gate(GateType::Nand, {a, b}, "g1");
+  const GateId g2 = n.add_gate(GateType::Not, {g1}, "g2");
+  const GateId g3 = n.add_gate(GateType::Or, {g1, g2}, "g3");
+  n.add_output(g3);
+  n.freeze();
+  check_freeze_invariants(n);
+  CHECK_EQ(n.level(a), 0u);
+  CHECK_EQ(n.level(g1), 1u);
+  CHECK_EQ(n.level(g2), 2u);
+  CHECK_EQ(n.level(g3), 3u);
+  CHECK_EQ(n.max_level(), 3u);
+  CHECK_EQ(n.fanouts(g1).size(), 2u);
+  CHECK_EQ(n.logic_gate_count(), 3u);
+
+  // builder rejects malformed netlists
+  {
+    Netlist bad("dup");
+    bad.add_input("x");
+    CHECK_THROWS(bad.add_input("x"));  // duplicate name
+  }
+  {
+    Netlist bad("arity");
+    const GateId x = bad.add_input("x");
+    CHECK_THROWS(bad.add_gate(GateType::And, {x}, "g"));  // too few fanins
+  }
+  {
+    Netlist bad("noout");
+    const GateId x = bad.add_input("x");
+    bad.add_gate(GateType::Not, {x}, "g");
+    CHECK_THROWS(bad.freeze());  // no outputs
+  }
+  {
+    Netlist bad("noin");
+    const GateId c = bad.add_gate(GateType::Const1, {}, "c");
+    bad.add_output(c);
+    CHECK_THROWS(bad.freeze());  // no inputs
+  }
+  {
+    Netlist bad("badid");
+    bad.add_input("x");
+    CHECK_THROWS(bad.add_output(42));  // unknown gate id
+  }
+
+  return bist_test::summary();
+}
