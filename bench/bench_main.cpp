@@ -1,10 +1,14 @@
 // Fault-simulation throughput bench: seed BitParSim loop vs. SimKernel path,
 // plus the PPSFP fault simulator driven by a maximal-length LFSR, across the
 // ISCAS85 surrogate family.  Emits BENCH_fault_sim.json with gate-evals/sec
-// for both logic-sim paths (and their ratio) and faults-dropped/sec for the
-// fault simulator, establishing the repo's performance trajectory.
+// for both logic-sim paths (and their ratio), faults-dropped/sec for the
+// fault simulator, and the full mixed-scheme pipeline per circuit (LFSR
+// phase -> PODEM top-off -> compaction): top-off pattern counts and final
+// coverage under both fault-accounting conventions — the direct input for
+// the scheduler and area model.
 //
 // Usage: bench_fault_sim [--patterns N] [--circuits c17,c6288s,...]
+//                        [--podem-backtracks N] [--no-mixed]
 //                        [--out FILE] [--plot]
 
 #include <chrono>
@@ -22,6 +26,7 @@
 #include "sim/bitpar_sim.hpp"
 #include "sim/kernel.hpp"
 #include "tpg/lfsr.hpp"
+#include "tpg/mixed.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/strings.hpp"
 
@@ -115,6 +120,8 @@ int run_bench(int argc, char** argv) {
   std::string out_path = "BENCH_fault_sim.json";
   std::vector<std::string> names = bist::iscas85_names();
   bool plot = false;
+  bool mixed = true;
+  std::uint32_t podem_backtracks = 100;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -133,6 +140,10 @@ int run_bench(int argc, char** argv) {
       out_path = next();
     } else if (a == "--plot") {
       plot = true;
+    } else if (a == "--no-mixed") {
+      mixed = false;
+    } else if (a == "--podem-backtracks") {
+      podem_backtracks = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (a == "--circuits") {
       names.clear();
       const std::string list = next();  // keep alive: split returns views
@@ -140,7 +151,8 @@ int run_bench(int argc, char** argv) {
         names.emplace_back(tok);
     } else {
       std::cerr << "usage: bench_fault_sim [--patterns N] [--reps N] "
-                   "[--circuits a,b] [--out FILE] [--plot]\n";
+                   "[--circuits a,b] [--podem-backtracks N] [--no-mixed] "
+                   "[--out FILE] [--plot]\n";
       return 2;
     }
   }
@@ -151,6 +163,7 @@ int run_bench(int argc, char** argv) {
      << ",\n  \"circuits\": [\n";
 
   double c6288_speedup = 0;
+  bool all_verified = true;
   bool first = true;
   for (const std::string& name : names) {
     bist::Netlist n = bist::make_iscas85(name);
@@ -189,6 +202,29 @@ int run_bench(int argc, char** argv) {
               << bist::format_fixed(fsecs ? fr.detected / fsecs : 0, 0)
               << " dropped/s)\n";
 
+    bist::MixedSchemeResult mr;
+    double msecs = 0;
+    if (mixed) {
+      bist::MixedTpgOptions mopt;
+      mopt.lfsr_patterns = patterns;
+      mopt.podem.backtrack_limit = podem_backtracks;
+      const auto tm0 = Clock::now();
+      // fr above is exactly the LFSR phase of the mixed scheme (same stream:
+      // degree 32, seed 0xBADC0FFE, `patterns` patterns), so reuse it instead
+      // of re-simulating; msecs then times the top-off phases alone.
+      mr = bist::run_mixed_tpg(kernel, fsim, mopt, &fr);
+      msecs = seconds_since(tm0);
+      all_verified = all_verified && mr.all_verified;
+      std::cout << name << ": mixed scheme " << mr.lfsr_patterns << " LFSR + "
+                << mr.topoff_patterns << " top-off patterns (tail "
+                << mr.tail_faults << ": " << mr.podem_detected << " podem, "
+                << mr.redundant << " redundant, " << mr.aborted
+                << " aborted), coverage "
+                << bist::format_fixed(100 * mr.lfsr_coverage, 2) << "% -> "
+                << bist::format_fixed(100 * mr.final_coverage, 2) << "%"
+                << (mr.all_verified ? "" : " [VERIFY FAILED]") << "\n";
+    }
+
     if (!first) js << ",\n";
     first = false;
     js << "    {\n      \"name\": \"" << name << "\",\n"
@@ -217,7 +253,31 @@ int run_bench(int argc, char** argv) {
        << "        \"faulty_gate_evals\": " << fr.faulty_gate_evals << ",\n"
        << "        \"faulty_gate_evals_per_sec\": "
        << json_num(fsecs > 0 ? double(fr.faulty_gate_evals) / fsecs : 0) << "\n"
-       << "      }\n    }";
+       << "      }";
+    if (mixed) {
+      js << ",\n      \"mixed_tpg\": {\n"
+         << "        \"lfsr_patterns\": " << mr.lfsr_patterns << ",\n"
+         << "        \"tail_faults\": " << mr.tail_faults << ",\n"
+         << "        \"podem\": {\"detected\": " << mr.podem_detected
+         << ", \"redundant\": " << mr.redundant
+         << ", \"aborted\": " << mr.aborted
+         << ", \"backtracks\": " << mr.podem_backtracks
+         << ", \"decisions\": " << mr.podem_decisions << "},\n"
+         << "        \"topoff_patterns\": " << mr.topoff_patterns << ",\n"
+         << "        \"topoff_before_compaction\": "
+         << mr.topoff_before_compaction << ",\n"
+         << "        \"lfsr_coverage\": " << json_num(mr.lfsr_coverage) << ",\n"
+         << "        \"lfsr_coverage_weighted\": "
+         << json_num(mr.lfsr_coverage_weighted) << ",\n"
+         << "        \"final_coverage\": " << json_num(mr.final_coverage) << ",\n"
+         << "        \"final_coverage_weighted\": "
+         << json_num(mr.final_coverage_weighted) << ",\n"
+         << "        \"patterns_verified\": "
+         << (mr.all_verified ? "true" : "false") << ",\n"
+         << "        \"seconds\": " << json_num(msecs) << "\n"
+         << "      }";
+    }
+    js << "\n    }";
 
     if (plot) {
       bist::Series s;
@@ -247,6 +307,10 @@ int run_bench(int argc, char** argv) {
     return 1;
   }
   std::cout << "wrote " << out_path << "\n";
+  if (!all_verified) {
+    std::cerr << "error: some top-off pattern failed fault-sim verification\n";
+    return 1;
+  }
   return 0;
 }
 

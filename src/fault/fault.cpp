@@ -57,6 +57,10 @@ std::vector<Fault> enumerate_faults(const Netlist& n) {
 }
 
 std::vector<Fault> collapse_faults(const Netlist& n, std::span<const Fault> faults) {
+  return collapse_faults_sized(n, faults).faults;
+}
+
+CollapsedFaults collapse_faults_sized(const Netlist& n, std::span<const Fault> faults) {
   std::unordered_map<std::uint64_t, std::size_t> index;
   index.reserve(faults.size() * 2);
   for (std::size_t i = 0; i < faults.size(); ++i)
@@ -114,9 +118,36 @@ std::vector<Fault> collapse_faults(const Netlist& n, std::span<const Fault> faul
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (!droppable[i]) survives[uf.find(i)] = 1;
 
-  std::vector<Fault> out;
+  std::vector<std::uint32_t> class_size(faults.size(), 0);
+  for (std::size_t i = 0; i < faults.size(); ++i) ++class_size[uf.find(i)];
+
+  // A dropped class (all members droppable output faults) is guaranteed
+  // detected by any test for one of the gate's dominating input faults —
+  // input stuck at the NON-controlling value (for AND, output s-a-1 is
+  // dominated by input s-a-1).  Attribute its weight to the first fanin's
+  // non-controlling connection fault, transitively, so the sizes keep
+  // summing to faults.size().  The walk terminates: a connection fault is
+  // either a branch fault (an input-side fault, hence in a surviving class)
+  // or the driver's output fault, and driver ids strictly decrease along
+  // the topological order.
+  auto dominating_class = [&](std::size_t root) {
+    while (!survives[root]) {
+      const Fault& f = faults[root];  // droppable => output fault, c >= 0
+      const int c = controlling_value(n.gate(f.gate).type);
+      root = uf.find(connection(f.gate, 0, static_cast<std::uint8_t>(c ? 0 : 1)));
+    }
+    return root;
+  };
   for (std::size_t i = 0; i < faults.size(); ++i)
-    if (uf.find(i) == i && survives[i]) out.push_back(faults[i]);
+    if (uf.find(i) == i && !survives[i])
+      class_size[dominating_class(i)] += class_size[i];
+
+  CollapsedFaults out;
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (uf.find(i) == i && survives[i]) {
+      out.faults.push_back(faults[i]);
+      out.class_size.push_back(class_size[i]);
+    }
   return out;
 }
 

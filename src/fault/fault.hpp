@@ -42,6 +42,20 @@ std::vector<Fault> enumerate_faults(const Netlist& n);
 /// subset of `faults`.
 std::vector<Fault> collapse_faults(const Netlist& n, std::span<const Fault> faults);
 
+/// Collapsing result that also carries per-representative equivalence-class
+/// sizes, so coverage can be reported in the total-enumerated-fault
+/// convention (denominator = uncollapsed list size) as well as the collapsed
+/// one.  Dominance-dropped classes are attributed to the class of the
+/// dominating controlling-value fault on the gate's first fanin (followed
+/// transitively until a surviving class is reached), so the sizes always sum
+/// to `faults.size()` and a 100%-detected run weighs out to 100% under both
+/// conventions.
+struct CollapsedFaults {
+  std::vector<Fault> faults;              ///< representatives (collapse_faults order)
+  std::vector<std::uint32_t> class_size;  ///< same length; sums to input size
+};
+CollapsedFaults collapse_faults_sized(const Netlist& n, std::span<const Fault> faults);
+
 /// "G16/2 s-a-1" style human-readable name.
 std::string fault_name(const Netlist& n, const Fault& f);
 

@@ -2,26 +2,39 @@
 
 #include <bit>
 #include <numeric>
+#include <stdexcept>
 
 namespace bist {
 
 FaultSimulator::FaultSimulator(const SimKernel& k) : k_(&k) {
   const auto all = enumerate_faults(k.netlist());
   total_faults_ = all.size();
-  faults_ = collapse_faults(k.netlist(), all);
-  fval_.assign(k.gate_count(), 0);
-  touched_.assign(k.gate_count(), 0);
-  level_queues_.resize(k.max_level() + 1);
-  queued_.assign(k.gate_count(), 0);
+  CollapsedFaults c = collapse_faults_sized(k.netlist(), all);
+  faults_ = std::move(c.faults);
+  weights_ = std::move(c.class_size);
+  total_weight_ = std::accumulate(weights_.begin(), weights_.end(),
+                                  std::uint64_t{0});
+  init_scratch();
 }
 
 FaultSimulator::FaultSimulator(const SimKernel& k, std::vector<Fault> faults,
-                               std::size_t total_faults)
-    : k_(&k), faults_(std::move(faults)), total_faults_(total_faults) {
-  fval_.assign(k.gate_count(), 0);
-  touched_.assign(k.gate_count(), 0);
-  level_queues_.resize(k.max_level() + 1);
-  queued_.assign(k.gate_count(), 0);
+                               std::size_t total_faults,
+                               std::vector<std::uint32_t> weights)
+    : k_(&k), faults_(std::move(faults)), weights_(std::move(weights)),
+      total_faults_(total_faults) {
+  if (weights_.empty()) weights_.assign(faults_.size(), 1);
+  if (weights_.size() != faults_.size())
+    throw std::invalid_argument("FaultSimulator: weights/faults size mismatch");
+  total_weight_ = std::accumulate(weights_.begin(), weights_.end(),
+                                  std::uint64_t{0});
+  init_scratch();
+}
+
+void FaultSimulator::init_scratch() {
+  fval_.assign(k_->gate_count(), 0);
+  touched_.assign(k_->gate_count(), 0);
+  level_queues_.resize(k_->max_level() + 1);
+  queued_.assign(k_->gate_count(), 0);
 }
 
 std::uint64_t FaultSimulator::propagate_fault(const Fault& f,
@@ -102,6 +115,7 @@ FaultSimResult FaultSimulator::run(std::span<const PatternBlock> blocks,
   FaultSimResult r;
   r.total_faults = total_faults_;
   r.sim_faults = faults_.size();
+  r.total_weight = total_weight_;
   r.first_detected.assign(faults_.size(), -1);
 
   KernelSim good(*k_);
@@ -115,17 +129,25 @@ FaultSimResult FaultSimulator::run(std::span<const PatternBlock> blocks,
     const std::uint64_t* gv = good.values().data();
     for (std::size_t i = 0; i < live.size();) {
       const std::uint32_t fidx = live[i];
+      if (r.first_detected[fidx] >= 0) {
+        // Already detected; with drop_detected off the fault stays in the
+        // live list (stable indices) but propagating it again can yield no
+        // new detection, so skip the work.
+        ++i;
+        continue;
+      }
       const std::uint64_t det =
           propagate_fault(faults_[fidx], gv, lanes, &r.faulty_gate_evals);
-      if (det && r.first_detected[fidx] < 0) {
+      if (det) {
         r.first_detected[fidx] =
             static_cast<std::int64_t>(base) + std::countr_zero(det);
         ++r.detected;
-      }
-      if (det && opt.drop_detected) {
-        live[i] = live.back();
-        live.pop_back();
-        continue;
+        r.detected_weight += weights_[fidx];
+        if (opt.drop_detected) {
+          live[i] = live.back();
+          live.pop_back();
+          continue;
+        }
       }
       ++i;
     }
@@ -134,13 +156,24 @@ FaultSimResult FaultSimulator::run(std::span<const PatternBlock> blocks,
   r.patterns = base;
 
   std::vector<std::uint32_t> hits(r.patterns, 0);
-  for (std::int64_t fd : r.first_detected)
-    if (fd >= 0) ++hits[static_cast<std::size_t>(fd)];
+  std::vector<std::uint64_t> hit_weight(r.patterns, 0);
+  for (std::size_t f = 0; f < r.first_detected.size(); ++f) {
+    const std::int64_t fd = r.first_detected[f];
+    if (fd >= 0) {
+      ++hits[static_cast<std::size_t>(fd)];
+      hit_weight[static_cast<std::size_t>(fd)] += weights_[f];
+    }
+  }
   r.coverage.assign(r.patterns, 0.0);
+  r.coverage_weighted.assign(r.patterns, 0.0);
   std::size_t running = 0;
+  std::uint64_t running_w = 0;
   for (std::size_t p = 0; p < r.patterns; ++p) {
     running += hits[p];
+    running_w += hit_weight[p];
     r.coverage[p] = r.sim_faults ? double(running) / double(r.sim_faults) : 0.0;
+    r.coverage_weighted[p] =
+        r.total_weight ? double(running_w) / double(r.total_weight) : 0.0;
   }
   return r;
 }

@@ -9,6 +9,11 @@
 // any primary output lane is detected; detected faults are dropped from the
 // live list so the per-block cost shrinks as coverage accumulates — the
 // standard shape of an LFSR coverage-curve computation.
+//
+// Coverage is reported under both accounting conventions: the collapsed
+// convention (each representative counts as one fault) and the
+// total-enumerated convention (each representative weighted by its
+// equivalence-class size, denominator = uncollapsed fault count).
 
 #include <cstdint>
 #include <span>
@@ -27,16 +32,25 @@ struct FaultSimResult {
   std::size_t total_faults = 0;  ///< uncollapsed fault list size
   std::size_t sim_faults = 0;    ///< simulated (collapsed) fault list size
   std::size_t detected = 0;
+  std::uint64_t detected_weight = 0;  ///< class-size-weighted detected count
+  std::uint64_t total_weight = 0;     ///< sum of class sizes (== total_faults
+                                      ///< when the list came from collapsing)
   std::size_t patterns = 0;
   /// Per simulated fault: index of the first detecting pattern, -1 undetected.
   std::vector<std::int64_t> first_detected;
   /// Per pattern: fraction of simulated faults detected by patterns [0..p].
   /// Monotone non-decreasing by construction.
   std::vector<double> coverage;
+  /// Same curve weighted by equivalence-class size over total_weight — the
+  /// total-enumerated-fault convention.
+  std::vector<double> coverage_weighted;
   /// Faulty-machine gate evaluations performed (cone-limited work measure).
   std::uint64_t faulty_gate_evals = 0;
 
   double final_coverage() const { return coverage.empty() ? 0.0 : coverage.back(); }
+  double final_coverage_weighted() const {
+    return coverage_weighted.empty() ? 0.0 : coverage_weighted.back();
+  }
 };
 
 class FaultSimulator {
@@ -47,23 +61,40 @@ class FaultSimulator {
 
   /// Simulate an explicit (already collapsed) fault list; `total_faults` is
   /// the size of the uncollapsed list it came from (reported in results).
+  /// `weights` optionally gives each fault's equivalence-class size (empty =
+  /// weight 1 each).
   FaultSimulator(const SimKernel& k, std::vector<Fault> faults,
-                 std::size_t total_faults);
+                 std::size_t total_faults,
+                 std::vector<std::uint32_t> weights = {});
 
   std::span<const Fault> faults() const { return faults_; }
+  std::span<const std::uint32_t> weights() const { return weights_; }
 
   /// Run over the pattern blocks with fault dropping; fills the coverage
-  /// curve.  Repeatable: each call starts from the full fault list.
+  /// curves.  Repeatable: each call starts from the full fault list.
   FaultSimResult run(std::span<const PatternBlock> blocks,
                      const FaultSimOptions& opt = {});
+
+  /// Lanes of `good_values` (a KernelSim values() array for the current
+  /// block, kernel-index space) on which fault f is detected at some primary
+  /// output.  Building block for pattern verification and static compaction.
+  std::uint64_t detect_lanes(const Fault& f,
+                             std::span<const std::uint64_t> good_values,
+                             std::uint64_t lane_mask) {
+    std::uint64_t evals = 0;
+    return propagate_fault(f, good_values.data(), lane_mask, &evals);
+  }
 
  private:
   std::uint64_t propagate_fault(const Fault& f, const std::uint64_t* good,
                                 std::uint64_t lanes, std::uint64_t* evals);
+  void init_scratch();
 
   const SimKernel* k_;
   std::vector<Fault> faults_;
+  std::vector<std::uint32_t> weights_;  ///< per-fault class sizes
   std::size_t total_faults_ = 0;
+  std::uint64_t total_weight_ = 0;
 
   // Per-fault propagation scratch in kernel-index space, reset via
   // touched_list_ after each fault.

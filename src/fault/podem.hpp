@@ -1,0 +1,90 @@
+#pragma once
+// PODEM (path-oriented decision making) deterministic test generation for
+// single stuck-at faults — the generator behind the mixed scheme's top-off
+// phase.  Two TernarySims run in lock-step over a shared SimKernel: the good
+// machine carries the fault-free circuit, the faulty machine has the fault
+// injected (stem faults via force(), fanout-branch faults via force_pin()).
+// A signal whose (good, faulty) pair is (1,0) carries D, (0,1) carries D-bar;
+// a test is found when some primary output pair differs on binary values.
+//
+// The search is the classic PODEM loop: pick an objective (activate the
+// fault line, then advance a D-frontier gate), backtrace it through the
+// X-valued region to a primary-input assignment, simulate, and backtrack on
+// failure.  Pruning is conservative — a branch is cut only when the fault
+// provably cannot be activated, or no X-path from a difference (or the
+// still-unresolved fault site) reaches a primary output under the current
+// assignment — so an exhausted search proves the fault redundant.  Searches
+// that hit the backtrack limit are reported Aborted, separately from
+// Redundant.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/kernel.hpp"
+#include "sim/ternary_sim.hpp"
+
+namespace bist {
+
+enum class PodemStatus : std::uint8_t {
+  Detected,   ///< test cube found (and verified by the lock-step sims)
+  Redundant,  ///< search space exhausted: no test exists
+  Aborted,    ///< backtrack limit hit before a verdict
+};
+
+std::string_view podem_status_name(PodemStatus s);
+
+struct PodemOptions {
+  /// Backtracks (decision reversals) allowed per fault before aborting.
+  /// Detection saturates at a few hundred on the surrogate family; proofs of
+  /// redundancy through reconvergent XOR/multiplier logic are the budget
+  /// eaters and abort instead (see BENCH JSON podem.aborted per circuit).
+  std::uint32_t backtrack_limit = 1000;
+};
+
+struct PodemResult {
+  PodemStatus status = PodemStatus::Redundant;
+  /// Per primary input (PI order), VX = don't care.  Valid iff Detected.
+  std::vector<Ternary> cube;
+  std::uint32_t backtracks = 0;
+  std::uint64_t decisions = 0;
+};
+
+/// Reusable PODEM engine; generate() may be called for any number of faults.
+/// The kernel must outlive the engine.
+class Podem {
+ public:
+  explicit Podem(const SimKernel& k);
+
+  PodemResult generate(const Fault& f, const PodemOptions& opt = {});
+
+ private:
+  bool detected() const;
+  bool x_path_ok();
+  bool objective(KIndex* gate, Ternary* v) const;
+  KIndex pick_x_fanin(KIndex g, bool easiest) const;
+  void backtrace(KIndex g, Ternary v, std::uint32_t* pi_idx, Ternary* pv) const;
+  bool search();
+  void build_cone(KIndex site);
+
+  const SimKernel* k_;
+  TernarySim good_, faulty_;
+  std::vector<std::uint32_t> pi_ordinal_;  // kernel idx -> PI index, ~0 if not PI
+  std::vector<std::uint32_t> po_dist_;     // min fanout hops to a primary output
+
+  // Per-fault state.
+  KIndex site_ = 0;              // fault site gate
+  KIndex line_ = 0;              // faulted line's driving signal
+  bool branch_fault_ = false;
+  Ternary stuck_t_ = Ternary::V0;
+  std::vector<KIndex> cone_;     // transitive fanout of site_ incl site_, ascending
+  std::vector<char> in_cone_;
+  std::vector<char> reach_;      // x_path_ok scratch, valid on cone_ only
+  std::uint32_t backtracks_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint32_t limit_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace bist

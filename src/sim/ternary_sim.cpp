@@ -61,8 +61,11 @@ void TernarySim::init() {
     if (off[g + 1] - off[g] > 64)
       throw std::invalid_argument("TernarySim: gate fanin > 64 unsupported");
   values_.assign(k_->gate_count(), Ternary::VX);
+  assigned_.assign(k_->gate_count(), Ternary::VX);
   forced_.assign(k_->gate_count(), Ternary::VX);
   has_force_.assign(k_->gate_count(), 0);
+  pin_forced_.assign(off[k_->gate_count()], Ternary::VX);
+  has_pin_force_.assign(k_->gate_count(), 0);
   level_queues_.resize(k_->max_level() + 1);
   queued_.assign(k_->gate_count(), 0);
   full_eval();
@@ -70,8 +73,11 @@ void TernarySim::init() {
 
 void TernarySim::reset() {
   std::fill(values_.begin(), values_.end(), Ternary::VX);
+  std::fill(assigned_.begin(), assigned_.end(), Ternary::VX);
   std::fill(forced_.begin(), forced_.end(), Ternary::VX);
   std::fill(has_force_.begin(), has_force_.end(), 0);
+  std::fill(pin_forced_.begin(), pin_forced_.end(), Ternary::VX);
+  std::fill(has_pin_force_.begin(), has_pin_force_.end(), 0);
   full_eval();
 }
 
@@ -86,33 +92,55 @@ void TernarySim::unforce_at(KIndex k) {
   propagate_from(k);
 }
 
+void TernarySim::force_pin_at(KIndex k, unsigned pin, Ternary v) {
+  const std::uint32_t* off = k_->fanin_offset_data();
+  if (off[k] + pin >= off[k + 1])
+    throw std::out_of_range("TernarySim::force_pin: pin out of range");
+  pin_forced_[off[k] + pin] = v;
+  has_pin_force_[k] = 1;
+  propagate_from(k);
+}
+
+void TernarySim::unforce_pin_at(KIndex k, unsigned pin) {
+  const std::uint32_t* off = k_->fanin_offset_data();
+  if (off[k] + pin >= off[k + 1])
+    throw std::out_of_range("TernarySim::unforce_pin: pin out of range");
+  pin_forced_[off[k] + pin] = Ternary::VX;
+  has_pin_force_[k] = 0;
+  for (std::uint32_t i = off[k]; i < off[k + 1]; ++i)
+    if (pin_forced_[i] != Ternary::VX) has_pin_force_[k] = 1;
+  propagate_from(k);
+}
+
 Ternary TernarySim::compute(KIndex k) const {
   if (has_force_[k]) return forced_[k];
-  if (k_->type(k) == GateType::Input) return values_[k];  // kept as assigned
+  if (k_->type(k) == GateType::Input) return assigned_[k];
   Ternary fis[64];
-  const std::span<const KIndex> fanins = k_->fanins(k);
-  const std::size_t nin = fanins.size();
-  for (std::size_t i = 0; i < nin; ++i) fis[i] = values_[fanins[i]];
+  const std::uint32_t* off = k_->fanin_offset_data();
+  const KIndex* fi = k_->fanin_data();
+  const std::uint32_t b = off[k];
+  const std::size_t nin = off[k + 1] - b;
+  for (std::size_t i = 0; i < nin; ++i) fis[i] = values_[fi[b + i]];
+  if (has_pin_force_[k])
+    for (std::size_t i = 0; i < nin; ++i)
+      if (pin_forced_[b + i] != Ternary::VX) fis[i] = pin_forced_[b + i];
   return eval_gate_ternary(k_->type(k), {fis, nin});
 }
 
 void TernarySim::set_input(std::size_t input_idx, Ternary v) {
   const KIndex g = k_->inputs()[input_idx];
-  const Ternary nv = has_force_[g] ? forced_[g] : v;
-  if (!has_force_[g]) values_[g] = v;
-  if (values_[g] != nv && has_force_[g]) values_[g] = nv;
+  assigned_[g] = v;
   propagate_from(g);
 }
 
 void TernarySim::propagate_from(KIndex root) {
   // Levelized event propagation: start with root's recomputation, then walk
   // strictly increasing levels so every gate is evaluated at most once.
-  const Ternary nv = (k_->type(root) == GateType::Input && !has_force_[root])
-                         ? values_[root]
-                         : compute(root);
-  const bool root_changed = values_[root] != nv;
+  // compute() resolves forces and PI assignments uniformly, so an unchanged
+  // root value means no fanout can change either.
+  const Ternary nv = compute(root);
+  if (values_[root] == nv) return;
   values_[root] = nv;
-  if (!root_changed && k_->type(root) != GateType::Input) return;
 
   unsigned lo_level = k_->max_level() + 1;
   for (KIndex f : k_->fanouts(root)) {
@@ -142,11 +170,7 @@ void TernarySim::propagate_from(KIndex root) {
 }
 
 void TernarySim::full_eval() {
-  for (KIndex g = 0; g < k_->gate_count(); ++g) {
-    if (has_force_[g]) { values_[g] = forced_[g]; continue; }
-    if (k_->type(g) == GateType::Input) continue;  // keep assignment
-    values_[g] = compute(g);
-  }
+  for (KIndex g = 0; g < k_->gate_count(); ++g) values_[g] = compute(g);
 }
 
 }  // namespace bist

@@ -1,0 +1,79 @@
+#pragma once
+// The paper's mixed test scheme, end to end for one circuit:
+//
+//   LFSR phase        maximal-length LFSR patterns through the PPSFP fault
+//                     simulator -> coverage curve + undetected tail
+//   top-off phase     PODEM test cube per tail fault (redundant and aborted
+//                     faults classified separately), X bits random-filled
+//   compaction        reverse-order fault simulation drops patterns whose
+//                     targets are covered by later patterns
+//   verification      every emitted pattern re-checked by the PPSFP
+//                     propagate against its target fault
+//
+// MixedSchemeResult carries the quantities the scheduler and area model
+// trade off: LFSR length vs. deterministic pattern count (ROM bits) and the
+// achieved coverage under both fault-accounting conventions.
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "fault/podem.hpp"
+#include "sim/kernel.hpp"
+#include "util/bitvec.hpp"
+
+namespace bist {
+
+struct MixedTpgOptions {
+  std::size_t lfsr_patterns = 4096;  ///< pseudo-random phase length
+  unsigned lfsr_degree = 32;
+  std::uint64_t lfsr_seed = 0xBADC0FFEu;
+  PodemOptions podem;
+  std::uint64_t fill_seed = 0x5EEDF111;  ///< X-fill RNG seed for test cubes
+  bool compact = true;           ///< reverse-order compaction of the top-off set
+  bool verify_patterns = true;   ///< fault-sim check of every emitted pattern
+};
+
+struct MixedSchemeResult {
+  std::size_t lfsr_patterns = 0;
+  std::size_t tail_faults = 0;     ///< undetected after the LFSR phase
+  std::size_t podem_detected = 0;  ///< tail faults with a generated test
+  std::size_t redundant = 0;
+  std::size_t aborted = 0;
+  std::uint64_t podem_backtracks = 0;
+  std::uint64_t podem_decisions = 0;
+  std::size_t topoff_before_compaction = 0;
+  std::size_t topoff_patterns = 0;  ///< |topoff| after compaction
+  /// Deterministic top-off set in application order.
+  std::vector<BitVec> topoff;
+  std::vector<Fault> redundant_faults;
+  std::vector<Fault> aborted_faults;
+  /// Coverage after the LFSR phase alone / after LFSR + top-off, collapsed
+  /// convention (denominator = collapsed faults) and total-enumerated
+  /// convention (class-size weighted, denominator = uncollapsed faults).
+  double lfsr_coverage = 0.0;
+  double lfsr_coverage_weighted = 0.0;
+  double final_coverage = 0.0;
+  double final_coverage_weighted = 0.0;
+  /// True iff every emitted pattern was confirmed to detect its target fault
+  /// (trivially true when verification is disabled).
+  bool all_verified = true;
+  /// Full LFSR-phase result (coverage curves for the scheduler).
+  FaultSimResult lfsr_result;
+};
+
+/// Run the mixed scheme on a compiled circuit.  Deterministic for a given
+/// kernel + options.
+MixedSchemeResult run_mixed_tpg(const SimKernel& k,
+                                const MixedTpgOptions& opt = {});
+
+/// Same, reusing a prebuilt FaultSimulator (skips fault re-enumeration) and,
+/// when `lfsr_result` is non-null, a precomputed LFSR-phase result — the
+/// caller vouches that it came from `fsim` with the LFSR stream `opt`
+/// describes.  Used by the bench, which has already run the LFSR phase.
+MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
+                                const MixedTpgOptions& opt,
+                                const FaultSimResult* lfsr_result = nullptr);
+
+}  // namespace bist

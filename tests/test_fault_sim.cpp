@@ -50,12 +50,75 @@ int main() {
     CHECK_EQ(r.coverage.size(), 32u);
     for (std::int64_t fd : r.first_detected) CHECK(fd >= 0 && fd < 32);
 
-    // no-dropping run detects the same faults at the same first patterns
+    // Class sizes cover the whole enumerated list (dominance-dropped classes
+    // are attributed to a dominating class), so the weighted curve reaches
+    // 100% on a fully-detected run.
+    const auto sized = collapse_faults_sized(c17, all);
+    CHECK(sized.faults == collapsed);
+    CHECK_EQ(sized.class_size.size(), sized.faults.size());
+    std::size_t size_sum = 0;
+    for (std::uint32_t s : sized.class_size) {
+      CHECK(s >= 1u);
+      size_sum += s;
+    }
+    CHECK_EQ(size_sum, all.size());
+    CHECK_EQ(r.total_weight, 34u);
+    CHECK_EQ(r.detected_weight, 34u);
+    CHECK_EQ(r.coverage_weighted.size(), 32u);
+    CHECK_EQ(r.final_coverage_weighted(), 1.0);
+
+    // no-dropping run detects the same faults at the same first patterns —
+    // and skips re-propagating already-detected faults, so it does exactly
+    // the same faulty-machine work as the dropping run.
     FaultSimOptions keep;
     keep.drop_detected = false;
     const FaultSimResult r2 = fsim.run(blocks, keep);
     CHECK_EQ(r2.detected, r.detected);
     CHECK(r2.first_detected == r.first_detected);
+    CHECK_EQ(r2.faulty_gate_evals, r.faulty_gate_evals);
+    CHECK_EQ(r2.detected_weight, r.detected_weight);
+  }
+
+  // --- dominance weight attribution goes to the dominating class ---------
+  // g = AND(a, b), o = XOR(g, c).  g out s-a-1 is dominance-dropped; its
+  // weight belongs with the dominating input s-a-1 class (here a s-a-1 via
+  // the fanout-free connection), NOT the equivalent-of-s-a-0 class: a test
+  // for {a0, b0, g0} does not detect g s-a-1.
+  {
+    Netlist n("attr");
+    const GateId a = n.add_input("a");
+    const GateId b = n.add_input("b");
+    const GateId c = n.add_input("c");
+    const GateId g = n.add_gate(GateType::And, {a, b}, "g");
+    const GateId o = n.add_gate(GateType::Xor, {g, c}, "o");
+    n.add_output(o);
+    n.freeze();
+    const auto all = enumerate_faults(n);
+    CHECK_EQ(all.size(), 10u);  // 5 nets x 2, no fanout branches
+    const auto sized = collapse_faults_sized(n, all);
+    CHECK_EQ(sized.faults.size(), 7u);
+    std::size_t sum = 0;
+    for (std::size_t i = 0; i < sized.faults.size(); ++i) {
+      sum += sized.class_size[i];
+      if (sized.faults[i] == Fault{a, -1, 0})
+        CHECK_EQ(sized.class_size[i], 3u);  // {a0, b0, g0}; g1 NOT counted here
+      if (sized.faults[i] == Fault{a, -1, 1})
+        CHECK_EQ(sized.class_size[i], 2u);  // {a1} + dominated g1
+    }
+    CHECK_EQ(sum, 10u);
+
+    // Pattern (1,1,0) detects {a0,b0,g0}, c1 and o0: 5 of the 10 enumerated
+    // faults (it does NOT detect g s-a-1).
+    const SimKernel k(n);
+    FaultSimulator fsim(k);
+    BitVec p(3);
+    p.set(0, true);
+    p.set(1, true);
+    const auto blocks = pack_all({&p, 1}, 3);
+    const FaultSimResult r = fsim.run(blocks);
+    CHECK_EQ(r.detected_weight, 5u);
+    CHECK_EQ(r.total_weight, 10u);
+    CHECK_EQ(r.final_coverage_weighted(), 0.5);
   }
 
   // --- whole surrogate family: monotone coverage, collapsing fires ------
@@ -76,6 +139,14 @@ int main() {
     for (std::size_t p = 1; p < r.coverage.size(); ++p)
       if (r.coverage[p] < r.coverage[p - 1]) monotone = false;
     CHECK(monotone);
+    // weighted curve: same shape constraints, total-fault denominator
+    CHECK_EQ(r.total_weight, r.total_faults);
+    CHECK_EQ(r.coverage_weighted.size(), r.coverage.size());
+    bool monotone_w = true;
+    for (std::size_t p = 1; p < r.coverage_weighted.size(); ++p)
+      if (r.coverage_weighted[p] < r.coverage_weighted[p - 1]) monotone_w = false;
+    CHECK(monotone_w);
+    CHECK(r.final_coverage_weighted() <= 1.0);
     CHECK(r.coverage.front() >= 0.0);
     CHECK(r.final_coverage() <= 1.0);
     // detected count consistent with the curve and first_detected
