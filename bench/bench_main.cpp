@@ -7,7 +7,15 @@
 // coverage under both fault-accounting conventions — the direct input for
 // the scheduler and area model.
 //
-// Usage: bench_fault_sim [--patterns N] [--circuits c17,c6288s,...]
+// Every timed section follows the same statistical hygiene: one untimed
+// warmup pass (page in the scratch, warm the caches and the branch
+// predictors), then N timed repetitions reporting the fastest (small-circuit
+// sections are microseconds-scale, where min-of-N is the standard way to
+// suppress scheduler noise).  Each JSON section carries `reps` and
+// `seconds_best` so downstream comparisons know what they are looking at.
+//
+// Usage: bench_fault_sim [--patterns N] [--reps N] [--threads N] [--width W]
+//                        [--circuits c17,c6288s,...]
 //                        [--podem-backtracks N] [--no-mixed]
 //                        [--out FILE] [--plot]
 
@@ -45,21 +53,22 @@ struct PathResult {
   std::uint64_t checksum = 0;  ///< XOR of PO words, cross-checked between paths
 };
 
-// Each path is timed `reps` times and the fastest pass is reported (the
-// per-pass work is ~ms scale, so min-of-N suppresses scheduler jitter).
+// Each path runs one untimed warmup pass, then `reps` timed passes keeping
+// the fastest (the per-pass work is ~us..ms scale, so min-of-N suppresses
+// scheduler jitter).
 PathResult run_seed_path(const bist::Netlist& n,
                          std::span<const bist::PatternBlock> blocks, int reps) {
   bist::BitParSim sim(n);
   PathResult r;
   r.seconds = 1e30;
-  for (int rep = 0; rep < reps; ++rep) {
+  for (int rep = -1; rep < reps; ++rep) {  // rep -1 = warmup, untimed
     std::uint64_t checksum = 0;
     const auto t0 = Clock::now();
     for (const auto& b : blocks) {
       sim.simulate(b);
       for (bist::GateId o : n.outputs()) checksum ^= sim.value(o) & b.lane_mask();
     }
-    r.seconds = std::min(r.seconds, seconds_since(t0));
+    if (rep >= 0) r.seconds = std::min(r.seconds, seconds_since(t0));
     r.checksum = checksum;
   }
   r.gate_evals = std::uint64_t(n.logic_gate_count()) * 64 * blocks.size();
@@ -67,19 +76,31 @@ PathResult run_seed_path(const bist::Netlist& n,
   return r;
 }
 
-PathResult run_kernel_path(const bist::SimKernel& k,
-                           std::span<const bist::PatternBlock> blocks, int reps) {
-  bist::KernelSim sim(k);
+// Kernel path at W x 64 lanes per pass; W=1 is the classic KernelSim loop.
+template <unsigned W>
+PathResult run_wide_path(const bist::SimKernel& k,
+                         std::span<const bist::PatternBlock> blocks, int reps) {
+  bist::WideSimT<W> sim(k);
   PathResult r;
   r.seconds = 1e30;
-  for (int rep = 0; rep < reps; ++rep) {
+  for (int rep = -1; rep < reps; ++rep) {
     std::uint64_t checksum = 0;
     const auto t0 = Clock::now();
-    for (const auto& b : blocks) {
-      sim.simulate(b);
-      for (bist::KIndex o : k.outputs()) checksum ^= sim.value_at(o) & b.lane_mask();
+    for (std::size_t bi = 0; bi < blocks.size();) {
+      const std::size_t nb = bist::WideSimT<W>::group_size(blocks, bi);
+      sim.simulate(blocks.subspan(bi, nb));
+      for (bist::KIndex o : k.outputs()) {
+        const auto v = sim.value_at(o);
+        if constexpr (W == 1) {
+          checksum ^= v & blocks[bi].lane_mask();
+        } else {
+          for (unsigned j = 0; j < nb; ++j)
+            checksum ^= v.w[j] & blocks[bi + j].lane_mask();
+        }
+      }
+      bi += nb;
     }
-    r.seconds = std::min(r.seconds, seconds_since(t0));
+    if (rep >= 0) r.seconds = std::min(r.seconds, seconds_since(t0));
     r.checksum = checksum;
   }
   r.gate_evals = std::uint64_t(k.schedule().size() + k.constants().size()) *
@@ -117,6 +138,8 @@ namespace {
 int run_bench(int argc, char** argv) {
   std::size_t patterns = 10240;
   int reps = 5;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  unsigned width = bist::kMaxWordWidth;
   std::string out_path = "BENCH_fault_sim.json";
   std::vector<std::string> names = bist::iscas85_names();
   bool plot = false;
@@ -136,6 +159,10 @@ int run_bench(int argc, char** argv) {
       patterns = std::stoul(next());
     } else if (a == "--reps") {
       reps = std::stoi(next());
+    } else if (a == "--threads") {
+      threads = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "--width") {
+      width = static_cast<unsigned>(std::stoul(next()));
     } else if (a == "--out") {
       out_path = next();
     } else if (a == "--plot") {
@@ -151,12 +178,18 @@ int run_bench(int argc, char** argv) {
         names.emplace_back(tok);
     } else {
       std::cerr << "usage: bench_fault_sim [--patterns N] [--reps N] "
-                   "[--circuits a,b] [--podem-backtracks N] [--no-mixed] "
-                   "[--out FILE] [--plot]\n";
+                   "[--threads N] [--width W] [--circuits a,b] "
+                   "[--podem-backtracks N] [--no-mixed] [--out FILE] "
+                   "[--plot]\n";
       return 2;
     }
   }
   if (patterns == 0 || patterns % 64 != 0) patterns = ((patterns / 64) + 1) * 64;
+  if (reps < 1) reps = 1;
+
+  bist::FaultSimOptions fopt;
+  fopt.threads = threads;
+  fopt.word_width = width;
 
   std::ostringstream js;
   js << "{\n  \"bench\": \"fault_sim\",\n  \"patterns\": " << patterns
@@ -176,9 +209,10 @@ int run_bench(int argc, char** argv) {
     const auto blocks = lfsr.blocks(n.input_count(), patterns);
 
     const PathResult seed = run_seed_path(n, blocks, reps);
-    const PathResult kern = run_kernel_path(kernel, blocks, reps);
-    if (seed.checksum != kern.checksum) {
-      std::cerr << name << ": seed/kernel output mismatch!\n";
+    const PathResult kern = run_wide_path<1>(kernel, blocks, reps);
+    const PathResult wide = run_wide_path<bist::kMaxWordWidth>(kernel, blocks, reps);
+    if (seed.checksum != kern.checksum || seed.checksum != wide.checksum) {
+      std::cerr << name << ": seed/kernel/wide output mismatch!\n";
       return 1;
     }
     const double speedup =
@@ -187,26 +221,38 @@ int run_bench(int argc, char** argv) {
             : 0;
     if (name.rfind("c6288", 0) == 0) c6288_speedup = speedup;
 
+    // Fault-sim section: same warmup + best-of-N discipline.  Every rep
+    // restarts from the full fault list and produces identical results, so
+    // only the timing varies.
     bist::FaultSimulator fsim(kernel);
-    const auto tf0 = Clock::now();
-    const bist::FaultSimResult fr = fsim.run(blocks);
-    const double fsecs = seconds_since(tf0);
+    bist::FaultSimResult fr = fsim.run(blocks, fopt);  // warmup (kept: results)
+    double fsecs = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto tf0 = Clock::now();
+      fr = fsim.run(blocks, fopt);
+      fsecs = std::min(fsecs, seconds_since(tf0));
+    }
 
     std::cout << name << ": " << st.gates << " gates, seed "
               << bist::format_fixed(seed.evals_per_sec / 1e6, 1)
               << " Mevals/s, kernel "
               << bist::format_fixed(kern.evals_per_sec / 1e6, 1)
-              << " Mevals/s (x" << bist::format_fixed(speedup, 2) << "), faults "
-              << fr.detected << "/" << fr.sim_faults << " detected (cov "
+              << " Mevals/s (x" << bist::format_fixed(speedup, 2) << "), wide["
+              << bist::kMaxWordWidth << "x64] "
+              << bist::format_fixed(wide.evals_per_sec / 1e6, 1)
+              << " Mevals/s, faults " << fr.detected << "/" << fr.sim_faults
+              << " detected (cov "
               << bist::format_fixed(100 * fr.final_coverage(), 2) << "%, "
               << bist::format_fixed(fsecs ? fr.detected / fsecs : 0, 0)
-              << " dropped/s)\n";
+              << " dropped/s, " << fr.threads << " threads, "
+              << fr.word_width << "x64 lanes)\n";
 
     bist::MixedSchemeResult mr;
     double msecs = 0;
     if (mixed) {
       bist::MixedTpgOptions mopt;
       mopt.lfsr_patterns = patterns;
+      mopt.fsim = fopt;
       mopt.podem.backtrack_limit = podem_backtracks;
       const auto tm0 = Clock::now();
       // fr above is exactly the LFSR phase of the mixed scheme (same stream:
@@ -234,12 +280,17 @@ int run_bench(int argc, char** argv) {
        << "      \"depth\": " << st.depth << ",\n"
        << "      \"logic_sim\": {\n"
        << "        \"patterns\": " << patterns << ",\n"
-       << "        \"seed_bitpar\": {\"seconds\": " << json_num(seed.seconds)
+       << "        \"reps\": " << reps << ",\n"
+       << "        \"seed_bitpar\": {\"seconds_best\": " << json_num(seed.seconds)
        << ", \"gate_evals\": " << seed.gate_evals
        << ", \"gate_evals_per_sec\": " << json_num(seed.evals_per_sec) << "},\n"
-       << "        \"kernel\": {\"seconds\": " << json_num(kern.seconds)
+       << "        \"kernel\": {\"seconds_best\": " << json_num(kern.seconds)
        << ", \"gate_evals\": " << kern.gate_evals
        << ", \"gate_evals_per_sec\": " << json_num(kern.evals_per_sec) << "},\n"
+       << "        \"kernel_wide\": {\"word_width\": " << bist::kMaxWordWidth
+       << ", \"seconds_best\": " << json_num(wide.seconds)
+       << ", \"gate_evals\": " << wide.gate_evals
+       << ", \"gate_evals_per_sec\": " << json_num(wide.evals_per_sec) << "},\n"
        << "        \"speedup_kernel_over_seed\": " << json_num(speedup) << "\n"
        << "      },\n"
        << "      \"fault_sim\": {\n"
@@ -247,7 +298,10 @@ int run_bench(int argc, char** argv) {
        << "        \"collapsed_faults\": " << fr.sim_faults << ",\n"
        << "        \"detected\": " << fr.detected << ",\n"
        << "        \"coverage\": " << json_num(fr.final_coverage()) << ",\n"
-       << "        \"seconds\": " << json_num(fsecs) << ",\n"
+       << "        \"threads\": " << fr.threads << ",\n"
+       << "        \"word_width\": " << fr.word_width << ",\n"
+       << "        \"reps\": " << reps << ",\n"
+       << "        \"seconds_best\": " << json_num(fsecs) << ",\n"
        << "        \"faults_dropped_per_sec\": "
        << json_num(fsecs > 0 ? fr.detected / fsecs : 0) << ",\n"
        << "        \"faulty_gate_evals\": " << fr.faulty_gate_evals << ",\n"

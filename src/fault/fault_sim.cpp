@@ -1,10 +1,173 @@
 #include "fault/fault_sim.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <numeric>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace bist {
+namespace {
+
+// One cleared queue per level, each reserved to the gate count at that
+// level, so the event-driven propagation loops never reallocate.
+void reserve_level_queues(const SimKernel& k,
+                          std::vector<std::vector<KIndex>>& queues) {
+  queues.resize(k.max_level() + 1);
+  std::vector<std::uint32_t> per_level(k.max_level() + 1, 0);
+  const std::uint32_t* lvl = k.level_data();
+  for (std::size_t g = 0; g < k.gate_count(); ++g) ++per_level[lvl[g]];
+  for (unsigned lv = 0; lv <= k.max_level(); ++lv) {
+    queues[lv].clear();
+    queues[lv].reserve(per_level[lv]);
+  }
+}
+
+// Per-worker event-driven propagation scratch (kernel-index space), reset
+// via touched_list after each stem.  Capacities are reserved up front so
+// the hot loops never reallocate.
+template <unsigned W>
+struct FfrScratch {
+  using Word = SimWord<W>;
+  std::vector<Word> fval;
+  std::vector<char> touched;
+  std::vector<KIndex> touched_list;
+  std::vector<std::vector<KIndex>> level_queues;
+  std::vector<char> queued;
+  /// Per-fault stem words of the group being processed, indexed by position
+  /// in the group's live list (worker-local: stem words never cross the
+  /// worker/reduction boundary, unlike the shared det slots).
+  std::vector<Word> stem_words;
+
+  void init(const SimKernel& k) {
+    const std::size_t cnt = k.gate_count();
+    fval.assign(cnt, w_zero<Word>());
+    touched.assign(cnt, 0);
+    touched_list.clear();
+    touched_list.reserve(cnt);
+    queued.assign(cnt, 0);
+    reserve_level_queues(k, level_queues);
+  }
+};
+
+// Stem word of fault f: the lanes (within `lanes`) on which f flips its FFR
+// stem root's output.  The walk from the site to the stem follows unique
+// fanouts — one gate re-evaluation per step — and stops early when the
+// divergence dies inside the region.
+template <unsigned W>
+SimWord<W> local_stem_word(const SimKernel& k, const Fault& f,
+                           const SimWord<W>* good, SimWord<W> lanes,
+                           std::uint64_t* evals) {
+  using Word = SimWord<W>;
+  const KIndex site = k.index_of(f.gate);
+  const Word stuck_word = w_broadcast<Word>(f.stuck ? ~std::uint64_t{0} : 0);
+  const MicroOp* op = k.op_data();
+  const std::uint64_t* inv = k.invert_data();
+  const std::uint32_t* off = k.fanin_offset_data();
+  const KIndex* fi = k.fanin_data();
+
+  Word val;
+  if (f.is_output_fault()) {
+    val = stuck_word;
+  } else {
+    // Branch fault: re-evaluate the site gate with the faulted pin forced.
+    // Fanin order is preserved by the kernel renumbering, so pin j of the
+    // netlist gate is slot b+j of the kernel CSR row.
+    const std::uint32_t b = off[site];
+    const std::uint32_t forced = b + static_cast<std::uint32_t>(f.pin);
+    val = eval_reduce(op[site], inv[site], b, off[site + 1],
+                      [&](std::uint32_t i) {
+                        return i == forced ? stuck_word : good[fi[i]];
+                      });
+    ++*evals;
+  }
+  Word diff = (val ^ good[site]) & lanes;
+
+  const KIndex stem = k.stem_of(site);
+  const std::uint32_t* fo_off = k.fanout_offset_data();
+  const KIndex* fo = k.fanout_data();
+  KIndex cur = site;
+  while (cur != stem && w_any(diff)) {
+    const KIndex next = fo[fo_off[cur]];  // unique fanout inside the FFR
+    val = eval_reduce(op[next], inv[next], off[next], off[next + 1],
+                      [&](std::uint32_t i) {
+                        return fi[i] == cur ? val : good[fi[i]];
+                      });
+    ++*evals;
+    diff = (val ^ good[next]) & lanes;
+    cur = next;
+  }
+  return diff;
+}
+
+// One event-driven cone propagation from `stem` for a flip word `diff`
+// (subset of `lanes`): returns the lanes on which the stem flip reaches a
+// primary output.  Lanes are independent in 2-valued simulation, so the
+// result is exact per lane even when `diff` ORs several faults' stem words.
+template <unsigned W>
+SimWord<W> propagate_stem(const SimKernel& k, KIndex stem, SimWord<W> diff,
+                          const SimWord<W>* good, SimWord<W> lanes,
+                          FfrScratch<W>& s, std::uint64_t* evals) {
+  using Word = SimWord<W>;
+  const MicroOp* op = k.op_data();
+  const std::uint64_t* inv = k.invert_data();
+  const std::uint32_t* off = k.fanin_offset_data();
+  const KIndex* fi = k.fanin_data();
+  const std::uint32_t* fo_off = k.fanout_offset_data();
+  const KIndex* fo = k.fanout_data();
+  const std::uint32_t* lvl = k.level_data();
+  const char* is_out = k.is_output_data();
+  const unsigned max_lv = k.max_level();
+
+  Word det = w_zero<Word>();
+  s.fval[stem] = good[stem] ^ diff;
+  s.touched[stem] = 1;
+  s.touched_list.push_back(stem);
+  if (is_out[stem]) det = diff;
+
+  unsigned lo_level = max_lv + 1;
+  for (std::uint32_t i = fo_off[stem]; i < fo_off[stem + 1]; ++i) {
+    const KIndex u = fo[i];
+    if (!s.queued[u]) {
+      s.queued[u] = 1;
+      s.level_queues[lvl[u]].push_back(u);
+      lo_level = std::min(lo_level, static_cast<unsigned>(lvl[u]));
+    }
+  }
+  for (unsigned lq = lo_level; lq <= max_lv; ++lq) {
+    auto& q = s.level_queues[lq];
+    for (const KIndex u : q) {
+      s.queued[u] = 0;
+      const Word v = eval_reduce(op[u], inv[u], off[u], off[u + 1],
+                                 [&](std::uint32_t i) {
+                                   const KIndex w = fi[i];
+                                   return s.touched[w] ? s.fval[w] : good[w];
+                                 });
+      ++*evals;
+      const Word d = (v ^ good[u]) & lanes;
+      if (!w_any(d)) continue;  // divergence dies here
+      s.fval[u] = v;
+      s.touched[u] = 1;
+      s.touched_list.push_back(u);
+      if (is_out[u]) det |= d;
+      for (std::uint32_t i = fo_off[u]; i < fo_off[u + 1]; ++i) {
+        const KIndex w = fo[i];
+        if (!s.queued[w]) {
+          s.queued[w] = 1;
+          s.level_queues[lvl[w]].push_back(w);
+        }
+      }
+    }
+    q.clear();
+  }
+  for (const KIndex u : s.touched_list) s.touched[u] = 0;
+  s.touched_list.clear();
+  return det;
+}
+
+}  // namespace
 
 FaultSimulator::FaultSimulator(const SimKernel& k) : k_(&k) {
   const auto all = enumerate_faults(k.netlist());
@@ -15,6 +178,7 @@ FaultSimulator::FaultSimulator(const SimKernel& k) : k_(&k) {
   total_weight_ = std::accumulate(weights_.begin(), weights_.end(),
                                   std::uint64_t{0});
   init_scratch();
+  build_stem_groups();
 }
 
 FaultSimulator::FaultSimulator(const SimKernel& k, std::vector<Fault> faults,
@@ -28,13 +192,43 @@ FaultSimulator::FaultSimulator(const SimKernel& k, std::vector<Fault> faults,
   total_weight_ = std::accumulate(weights_.begin(), weights_.end(),
                                   std::uint64_t{0});
   init_scratch();
+  build_stem_groups();
 }
 
+FaultSimulator::~FaultSimulator() = default;
+
 void FaultSimulator::init_scratch() {
-  fval_.assign(k_->gate_count(), 0);
-  touched_.assign(k_->gate_count(), 0);
-  level_queues_.resize(k_->max_level() + 1);
-  queued_.assign(k_->gate_count(), 0);
+  const std::size_t cnt = k_->gate_count();
+  fval_.assign(cnt, 0);
+  touched_.assign(cnt, 0);
+  touched_list_.reserve(cnt);
+  queued_.assign(cnt, 0);
+  reserve_level_queues(*k_, level_queues_);
+}
+
+void FaultSimulator::build_stem_groups() {
+  // Bucket sim faults by the stem ordinal of their site gate; only non-empty
+  // groups are kept, in stem level order, faults in list order within each.
+  const std::size_t nstems = k_->stem_count();
+  std::vector<std::uint32_t> count(nstems, 0);
+  std::vector<std::uint32_t> ord(faults_.size());
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    ord[f] = k_->stem_ordinal(k_->index_of(faults_[f].gate));
+    ++count[ord[f]];
+  }
+  std::vector<std::uint32_t> group_of(nstems, 0);
+  group_stem_.clear();
+  group_offset_.assign(1, 0);
+  for (std::uint32_t s = 0; s < nstems; ++s) {
+    if (!count[s]) continue;
+    group_of[s] = static_cast<std::uint32_t>(group_stem_.size());
+    group_stem_.push_back(k_->stems()[s]);
+    group_offset_.push_back(group_offset_.back() + count[s]);
+  }
+  group_faults_.assign(faults_.size(), 0);
+  std::vector<std::uint32_t> cur(group_offset_.begin(), group_offset_.end() - 1);
+  for (std::size_t f = 0; f < faults_.size(); ++f)
+    group_faults_[cur[group_of[ord[f]]]++] = static_cast<std::uint32_t>(f);
 }
 
 std::uint64_t FaultSimulator::propagate_fault(const Fault& f,
@@ -47,6 +241,11 @@ std::uint64_t FaultSimulator::propagate_fault(const Fault& f,
   const std::uint64_t* inv = k_->invert_data();
   const std::uint32_t* off = k_->fanin_offset_data();
   const KIndex* fi = k_->fanin_data();
+  const std::uint32_t* fo_off = k_->fanout_offset_data();
+  const KIndex* fo = k_->fanout_data();
+  const std::uint32_t* lvl = k_->level_data();
+  const char* is_out = k_->is_output_data();
+  const unsigned max_lv = k_->max_level();
 
   std::uint64_t site_val;
   if (f.is_output_fault()) {
@@ -70,19 +269,20 @@ std::uint64_t FaultSimulator::propagate_fault(const Fault& f,
   fval_[site] = site_val;
   touched_[site] = 1;
   touched_list_.push_back(site);
-  if (k_->is_output(site)) det |= site_diff;
+  if (is_out[site]) det |= site_diff;
 
-  unsigned lo_level = k_->max_level() + 1;
-  for (KIndex u : k_->fanouts(site)) {
+  unsigned lo_level = max_lv + 1;
+  for (std::uint32_t i = fo_off[site]; i < fo_off[site + 1]; ++i) {
+    const KIndex u = fo[i];
     if (!queued_[u]) {
       queued_[u] = 1;
-      level_queues_[k_->level(u)].push_back(u);
-      lo_level = std::min(lo_level, k_->level(u));
+      level_queues_[lvl[u]].push_back(u);
+      lo_level = std::min(lo_level, static_cast<unsigned>(lvl[u]));
     }
   }
-  for (unsigned lv = lo_level; lv <= k_->max_level(); ++lv) {
-    auto& q = level_queues_[lv];
-    for (KIndex u : q) {
+  for (unsigned lq = lo_level; lq <= max_lv; ++lq) {
+    auto& q = level_queues_[lq];
+    for (const KIndex u : q) {
       queued_[u] = 0;
       const std::uint64_t v =
           eval_reduce(op[u], inv[u], off[u], off[u + 1], [&](std::uint32_t i) {
@@ -94,24 +294,57 @@ std::uint64_t FaultSimulator::propagate_fault(const Fault& f,
       fval_[u] = v;
       touched_[u] = 1;
       touched_list_.push_back(u);
-      if (k_->is_output(u)) det |= (v ^ good[u]) & lanes;
-      for (KIndex w : k_->fanouts(u)) {
+      if (is_out[u]) det |= (v ^ good[u]) & lanes;
+      for (std::uint32_t i = fo_off[u]; i < fo_off[u + 1]; ++i) {
+        const KIndex w = fo[i];
         if (!queued_[w]) {
           queued_[w] = 1;
-          level_queues_[k_->level(w)].push_back(w);
+          level_queues_[lvl[w]].push_back(w);
         }
       }
     }
     q.clear();
   }
 
-  for (KIndex u : touched_list_) touched_[u] = 0;
+  for (const KIndex u : touched_list_) touched_[u] = 0;
   touched_list_.clear();
   return det;
 }
 
+void FaultSimulator::finalize_curves(FaultSimResult& r) const {
+  std::vector<std::uint32_t> hits(r.patterns, 0);
+  std::vector<std::uint64_t> hit_weight(r.patterns, 0);
+  for (std::size_t f = 0; f < r.first_detected.size(); ++f) {
+    const std::int64_t fd = r.first_detected[f];
+    if (fd >= 0) {
+      ++hits[static_cast<std::size_t>(fd)];
+      hit_weight[static_cast<std::size_t>(fd)] += weights_[f];
+    }
+  }
+  r.coverage.assign(r.patterns, 0.0);
+  r.coverage_weighted.assign(r.patterns, 0.0);
+  std::size_t running = 0;
+  std::uint64_t running_w = 0;
+  for (std::size_t p = 0; p < r.patterns; ++p) {
+    running += hits[p];
+    running_w += hit_weight[p];
+    r.coverage[p] = r.sim_faults ? double(running) / double(r.sim_faults) : 0.0;
+    r.coverage_weighted[p] =
+        r.total_weight ? double(running_w) / double(r.total_weight) : 0.0;
+  }
+}
+
 FaultSimResult FaultSimulator::run(std::span<const PatternBlock> blocks,
                                    const FaultSimOptions& opt) {
+  if (!opt.ffr) return run_legacy(blocks, opt);
+#if BIST_WIDE_WORDS
+  if (opt.word_width == kMaxWordWidth) return run_ffr<kMaxWordWidth>(blocks, opt);
+#endif
+  return run_ffr<1>(blocks, opt);
+}
+
+FaultSimResult FaultSimulator::run_legacy(std::span<const PatternBlock> blocks,
+                                          const FaultSimOptions& opt) {
   FaultSimResult r;
   r.total_faults = total_faults_;
   r.sim_faults = faults_.size();
@@ -154,27 +387,127 @@ FaultSimResult FaultSimulator::run(std::span<const PatternBlock> blocks,
     base += blk.count;
   }
   r.patterns = base;
+  finalize_curves(r);
+  return r;
+}
 
-  std::vector<std::uint32_t> hits(r.patterns, 0);
-  std::vector<std::uint64_t> hit_weight(r.patterns, 0);
-  for (std::size_t f = 0; f < r.first_detected.size(); ++f) {
-    const std::int64_t fd = r.first_detected[f];
-    if (fd >= 0) {
-      ++hits[static_cast<std::size_t>(fd)];
-      hit_weight[static_cast<std::size_t>(fd)] += weights_[f];
+template <unsigned W>
+FaultSimResult FaultSimulator::run_ffr(std::span<const PatternBlock> blocks,
+                                       const FaultSimOptions& opt) {
+  using Word = SimWord<W>;
+  FaultSimResult r;
+  r.total_faults = total_faults_;
+  r.sim_faults = faults_.size();
+  r.total_weight = total_weight_;
+  r.first_detected.assign(faults_.size(), -1);
+  r.word_width = W;
+
+  const unsigned workers = resolve_threads(opt.threads);
+  if (!pool_ || pool_->workers() != workers)
+    pool_ = std::make_unique<WorkerPool>(workers);
+  WorkerPool& pool = *pool_;
+  r.threads = pool.workers();
+
+  // Live fault lists per stem group; dropping shrinks a group in place.
+  const std::size_t ngroups = group_stem_.size();
+  std::vector<std::vector<std::uint32_t>> live(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g)
+    live[g].assign(group_faults_.begin() + group_offset_[g],
+                   group_faults_.begin() + group_offset_[g + 1]);
+
+  WideSimT<W> good(*k_);
+  std::size_t max_group = 0;
+  for (std::size_t g = 0; g < ngroups; ++g)
+    max_group = std::max<std::size_t>(max_group,
+                                      group_offset_[g + 1] - group_offset_[g]);
+  std::vector<FfrScratch<W>> scratch(pool.workers());
+  for (auto& s : scratch) {
+    s.init(*k_);
+    s.stem_words.assign(max_group, w_zero<Word>());
+  }
+  std::vector<std::uint64_t> worker_evals(pool.workers(), 0);
+  // Per-fault detection slots, written by the owning worker only (each fault
+  // lives in exactly one stem group), read in the serial reduction.
+  std::vector<Word> det(faults_.size(), w_zero<Word>());
+
+  std::size_t base = 0;
+  std::size_t bi = 0;
+  while (bi < blocks.size()) {
+    const std::size_t nb = WideSimT<W>::group_size(blocks, bi);
+    const std::span<const PatternBlock> grp = blocks.subspan(bi, nb);
+    std::size_t grp_patterns = 0;
+    for (const PatternBlock& b : grp) grp_patterns += b.count;
+
+    if (r.detected == faults_.size()) {  // nothing left to detect
+      base += grp_patterns;
+      bi += nb;
+      continue;
     }
+
+    good.simulate(grp);
+    const Word lanes = WideSimT<W>::group_lane_mask(grp);
+    const Word* gv = good.values().data();
+
+    std::atomic<std::uint32_t> cursor{0};
+    pool.run([&](unsigned wid) {
+      FfrScratch<W>& s = scratch[wid];
+      std::uint64_t ev = 0;
+      for (;;) {
+        const std::uint32_t g = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (g >= ngroups) break;
+        const auto& lf = live[g];
+        if (lf.empty()) continue;
+        Word acc = w_zero<Word>();
+        for (std::size_t i = 0; i < lf.size(); ++i) {
+          const std::uint32_t fidx = lf[i];
+          if (r.first_detected[fidx] >= 0) {  // kept live with dropping off
+            s.stem_words[i] = w_zero<Word>();
+            continue;
+          }
+          const Word sw =
+              local_stem_word<W>(*k_, faults_[fidx], gv, lanes, &ev);
+          s.stem_words[i] = sw;
+          acc |= sw;
+        }
+        if (!w_any(acc)) continue;  // every fault died inside the region
+        const Word obs =
+            propagate_stem<W>(*k_, group_stem_[g], acc, gv, lanes, s, &ev);
+        if (!w_any(obs)) continue;
+        for (std::size_t i = 0; i < lf.size(); ++i)
+          det[lf[i]] = s.stem_words[i] & obs;
+      }
+      worker_evals[wid] += ev;
+    });
+
+    // Serial reduction: per-fault results are independent, so visiting them
+    // in any fixed order yields identical counts/curves for every worker
+    // count and work assignment.
+    for (std::size_t g = 0; g < ngroups; ++g) {
+      auto& lf = live[g];
+      for (std::size_t i = 0; i < lf.size();) {
+        const std::uint32_t fidx = lf[i];
+        const Word d = det[fidx];
+        det[fidx] = w_zero<Word>();
+        if (w_any(d) && r.first_detected[fidx] < 0) {
+          r.first_detected[fidx] =
+              static_cast<std::int64_t>(base) + w_first_lane(d);
+          ++r.detected;
+          r.detected_weight += weights_[fidx];
+          if (opt.drop_detected) {
+            lf[i] = lf.back();
+            lf.pop_back();
+            continue;
+          }
+        }
+        ++i;
+      }
+    }
+    base += grp_patterns;
+    bi += nb;
   }
-  r.coverage.assign(r.patterns, 0.0);
-  r.coverage_weighted.assign(r.patterns, 0.0);
-  std::size_t running = 0;
-  std::uint64_t running_w = 0;
-  for (std::size_t p = 0; p < r.patterns; ++p) {
-    running += hits[p];
-    running_w += hit_weight[p];
-    r.coverage[p] = r.sim_faults ? double(running) / double(r.sim_faults) : 0.0;
-    r.coverage_weighted[p] =
-        r.total_weight ? double(running_w) / double(r.total_weight) : 0.0;
-  }
+  r.patterns = base;
+  for (const std::uint64_t ev : worker_evals) r.faulty_gate_evals += ev;
+  finalize_curves(r);
   return r;
 }
 

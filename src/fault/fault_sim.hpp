@@ -1,14 +1,36 @@
 #pragma once
-// PPSFP (parallel-pattern single-fault propagation) stuck-at fault simulator.
+// PPSFP (parallel-pattern single-fault propagation) stuck-at fault simulator,
+// rebuilt as a parallel FFR-aware engine.
 //
-// For each 64-pattern block the good machine is evaluated once on the
-// SimKernel; then each live fault is injected at its site word and the
-// divergence is propagated event-driven through the site's fanout cone in
-// level order (the same levelized scheme as TernarySim, but on 64-bit
-// pattern words).  A fault whose faulty word differs from the good word at
-// any primary output lane is detected; detected faults are dropped from the
-// live list so the per-block cost shrinks as coverage accumulates — the
-// standard shape of an LFSR coverage-curve computation.
+// For each pattern group the good machine is evaluated once on the
+// SimKernel; then fault effects are propagated in two stages that exploit
+// the kernel's fanout-free-region decomposition:
+//
+//   local stage   every live fault is walked from its site to its FFR stem
+//                 root — a unique single-fanout path, one gate re-evaluation
+//                 per step — yielding the *stem word*: the pattern lanes on
+//                 which the fault flips the stem output.  Faults whose
+//                 effect dies inside the region never touch the global event
+//                 queues.
+//   stem stage    per stem with any live activated fault, ONE event-driven
+//                 cone propagation is run for the OR of its faults' stem
+//                 words.  Lanes are independent in 2-valued simulation, so
+//                 the resulting observability word D (lanes where a stem
+//                 flip reaches a primary output) is exact per lane, and each
+//                 fault's detection word is just stem_word & D.  All faults
+//                 sharing a stem share that one propagation.
+//
+// The stem groups are split across a persistent WorkerPool: workers pull
+// stem groups off an atomic cursor, each with its own propagation scratch,
+// sharing the read-only good-machine values.  Per-fault results land in
+// disjoint slots and are reduced serially in fixed fault order afterwards,
+// so first-detection indices, coverage curves, and eval counters are
+// bit-identical for every thread count.
+//
+// Pattern words are SimWord<W> (W x 64 lanes, W = 1 or 4): the engine
+// consumes W consecutive 64-lane PatternBlocks per pass, keeping the narrow
+// block ABI while letting the 256-bit path auto-vectorize.  Detection
+// results are lane-exact, hence identical across widths too.
 //
 // Coverage is reported under both accounting conventions: the collapsed
 // convention (each representative counts as one fault) and the
@@ -16,6 +38,7 @@
 // equivalence-class size, denominator = uncollapsed fault count).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -24,8 +47,19 @@
 
 namespace bist {
 
+class WorkerPool;
+
 struct FaultSimOptions {
   bool drop_detected = true;  ///< stop simulating a fault once detected
+  /// Worker count for the stem-group partition; 0 = hardware_concurrency.
+  unsigned threads = 1;
+  /// Pattern word width in 64-lane units (1 or kMaxWordWidth); unsupported
+  /// widths clamp to 1.
+  unsigned word_width = 1;
+  /// FFR stem-sharing engine (the default).  false selects the legacy
+  /// per-fault full-cone propagation path — single-threaded, 64-lane — kept
+  /// as the differential-testing reference.
+  bool ffr = true;
 };
 
 struct FaultSimResult {
@@ -36,6 +70,8 @@ struct FaultSimResult {
   std::uint64_t total_weight = 0;     ///< sum of class sizes (== total_faults
                                       ///< when the list came from collapsing)
   std::size_t patterns = 0;
+  unsigned threads = 1;     ///< resolved worker count the run used
+  unsigned word_width = 1;  ///< resolved pattern word width (64-lane units)
   /// Per simulated fault: index of the first detecting pattern, -1 undetected.
   std::vector<std::int64_t> first_detected;
   /// Per pattern: fraction of simulated faults detected by patterns [0..p].
@@ -45,6 +81,7 @@ struct FaultSimResult {
   /// total-enumerated-fault convention.
   std::vector<double> coverage_weighted;
   /// Faulty-machine gate evaluations performed (cone-limited work measure).
+  /// Deterministic per (engine, word_width); independent of thread count.
   std::uint64_t faulty_gate_evals = 0;
 
   double final_coverage() const { return coverage.empty() ? 0.0 : coverage.back(); }
@@ -66,12 +103,15 @@ class FaultSimulator {
   FaultSimulator(const SimKernel& k, std::vector<Fault> faults,
                  std::size_t total_faults,
                  std::vector<std::uint32_t> weights = {});
+  ~FaultSimulator();
 
   std::span<const Fault> faults() const { return faults_; }
   std::span<const std::uint32_t> weights() const { return weights_; }
 
   /// Run over the pattern blocks with fault dropping; fills the coverage
   /// curves.  Repeatable: each call starts from the full fault list.
+  /// Detection results (first_detected, curves, weights) are bit-identical
+  /// across every (threads, word_width, ffr) combination.
   FaultSimResult run(std::span<const PatternBlock> blocks,
                      const FaultSimOptions& opt = {});
 
@@ -89,6 +129,13 @@ class FaultSimulator {
   std::uint64_t propagate_fault(const Fault& f, const std::uint64_t* good,
                                 std::uint64_t lanes, std::uint64_t* evals);
   void init_scratch();
+  void build_stem_groups();
+  FaultSimResult run_legacy(std::span<const PatternBlock> blocks,
+                            const FaultSimOptions& opt);
+  template <unsigned W>
+  FaultSimResult run_ffr(std::span<const PatternBlock> blocks,
+                         const FaultSimOptions& opt);
+  void finalize_curves(FaultSimResult& r) const;
 
   const SimKernel* k_;
   std::vector<Fault> faults_;
@@ -96,8 +143,20 @@ class FaultSimulator {
   std::size_t total_faults_ = 0;
   std::uint64_t total_weight_ = 0;
 
-  // Per-fault propagation scratch in kernel-index space, reset via
-  // touched_list_ after each fault.
+  // Static stem grouping of the fault list: group g covers sim-fault indices
+  // group_faults_[group_offset_[g] .. group_offset_[g+1]) whose sites share
+  // the stem root group_stem_[g].  Only non-empty groups are kept, in stem
+  // level order; within a group faults keep list order.
+  std::vector<KIndex> group_stem_;
+  std::vector<std::uint32_t> group_offset_;
+  std::vector<std::uint32_t> group_faults_;
+
+  // Worker pool cached across run() calls (rebuilt only when the resolved
+  // worker count changes), so repeated runs don't pay thread spawn cost.
+  std::unique_ptr<WorkerPool> pool_;
+
+  // Legacy-path per-fault propagation scratch in kernel-index space, reset
+  // via touched_list_ after each fault (also backs detect_lanes()).
   std::vector<std::uint64_t> fval_;
   std::vector<char> touched_;
   std::vector<KIndex> touched_list_;

@@ -79,27 +79,78 @@ SimKernel::SimKernel(const Netlist& n) : n_(&n) {
       schedule_.push_back(k);
     }
   }
+
+  // FFR decomposition.  A gate's unique fanout has a strictly higher level,
+  // hence a larger kernel index, so one reverse sweep resolves every stem
+  // root: stems point to themselves, everything else inherits its single
+  // fanout's root.
+  stem_.resize(cnt);
+  stem_ordinal_.assign(cnt, 0);
+  for (KIndex k = static_cast<KIndex>(cnt); k-- > 0;) {
+    const std::uint32_t nfo = fanout_offset_[k + 1] - fanout_offset_[k];
+    stem_[k] = (nfo != 1 || is_output_[k]) ? k : stem_[fanout_flat_[fanout_offset_[k]]];
+  }
+  for (KIndex k = 0; k < cnt; ++k) {
+    if (stem_[k] != k) continue;
+    stem_ordinal_[k] = static_cast<std::uint32_t>(stems_.size());
+    stems_.push_back(k);  // ascending kernel index == level order
+  }
+  ffr_offset_.assign(stems_.size() + 1, 0);
+  for (KIndex k = 0; k < cnt; ++k) ++ffr_offset_[stem_ordinal_[stem_[k]] + 1];
+  for (std::size_t s = 1; s <= stems_.size(); ++s) ffr_offset_[s] += ffr_offset_[s - 1];
+  ffr_members_.assign(cnt, 0);
+  std::vector<std::uint32_t> fcur(ffr_offset_.begin(), ffr_offset_.end() - 1);
+  for (KIndex k = 0; k < cnt; ++k)
+    ffr_members_[fcur[stem_ordinal_[stem_[k]]]++] = k;
 }
 
-KernelSim::KernelSim(const SimKernel& k) : k_(&k), values_(k.gate_count(), 0) {
+template <unsigned W>
+WideSimT<W>::WideSimT(const SimKernel& k)
+    : k_(&k), values_(k.gate_count(), w_zero<Word>()) {
   // Constants never change; evaluate them once here.
   for (KIndex c : k.constants())
-    values_[c] = k.type(c) == GateType::Const1 ? ~std::uint64_t{0} : 0;
+    values_[c] = w_broadcast<Word>(
+        k.type(c) == GateType::Const1 ? ~std::uint64_t{0} : 0);
 }
 
-void KernelSim::simulate(const PatternBlock& block) {
-  if (block.width != k_->inputs().size())
-    throw std::invalid_argument("KernelSim: block width mismatch");
+template <unsigned W>
+typename WideSimT<W>::Word WideSimT<W>::group_lane_mask(
+    std::span<const PatternBlock> blocks) {
+  if constexpr (W == 1) {
+    return blocks.empty() ? 0 : blocks[0].lane_mask();
+  } else {
+    Word m = w_zero<Word>();
+    for (unsigned j = 0; j < W && j < blocks.size(); ++j)
+      m.w[j] = blocks[j].lane_mask();
+    return m;
+  }
+}
+
+template <unsigned W>
+void WideSimT<W>::simulate(std::span<const PatternBlock> blocks) {
+  if (blocks.empty() || blocks.size() > W)
+    throw std::invalid_argument("WideSimT: block group size must be 1..W");
+  for (const PatternBlock& b : blocks)
+    if (b.width != k_->inputs().size())
+      throw std::invalid_argument("WideSimT: block width mismatch");
 
   const std::span<const KIndex> pis = k_->inputs();
-  for (std::size_t i = 0; i < pis.size(); ++i)
-    values_[pis[i]] = block.input_words[i];
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    if constexpr (W == 1) {
+      values_[pis[i]] = blocks[0].input_words[i];
+    } else {
+      Word v = w_zero<Word>();
+      for (unsigned j = 0; j < blocks.size(); ++j)
+        v.w[j] = blocks[j].input_words[i];
+      values_[pis[i]] = v;
+    }
+  }
 
   const MicroOp* op = k_->op_data();
   const std::uint64_t* inv = k_->invert_data();
   const std::uint32_t* off = k_->fanin_offset_data();
   const KIndex* fi = k_->fanin_data();
-  std::uint64_t* val = values_.data();
+  Word* val = values_.data();
 
   for (KIndex g : k_->schedule()) {
     val[g] = eval_reduce(op[g], inv[g], off[g], off[g + 1],
@@ -107,11 +158,17 @@ void KernelSim::simulate(const PatternBlock& block) {
   }
 }
 
-std::vector<std::uint64_t> KernelSim::output_words() const {
-  std::vector<std::uint64_t> out;
+template <unsigned W>
+std::vector<typename WideSimT<W>::Word> WideSimT<W>::output_words() const {
+  std::vector<Word> out;
   out.reserve(k_->outputs().size());
   for (KIndex o : k_->outputs()) out.push_back(values_[o]);
   return out;
 }
+
+template class WideSimT<1>;
+#if BIST_WIDE_WORDS
+template class WideSimT<4>;
+#endif
 
 }  // namespace bist

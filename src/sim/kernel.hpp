@@ -24,6 +24,16 @@
 // Everything inside the kernel speaks kernel indices; index_of()/gate_of()
 // translate at the boundary to the netlist's GateId space (names, fault
 // sites, test expectations).
+//
+// The kernel also carries the fanout-free-region (FFR) decomposition the
+// fault engine is built on.  A *stem* is a gate whose output is electrically
+// observable beyond a single successor: fanout count != 1, or a primary
+// output.  Every other gate has exactly one fanout, so following fanouts
+// from any gate traces a unique path that ends at a stem — that stem is the
+// gate's *stem root*, and the set of gates sharing a root is one FFR.  A
+// fault effect inside an FFR can only reach the rest of the circuit through
+// the root, which is what lets the fault simulator localize per-fault work
+// to a short in-region walk and share one global cone propagation per stem.
 
 #include <cstdint>
 #include <span>
@@ -31,6 +41,7 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/bitpar_sim.hpp"
+#include "sim/simword.hpp"
 
 namespace bist {
 
@@ -88,12 +99,34 @@ class SimKernel {
   MicroOp op(KIndex k) const { return ops_[k]; }
   std::uint64_t invert_mask(KIndex k) const { return inv_[k]; }
 
+  // --- FFR decomposition (see the header comment) ------------------------
+  /// True iff k's output is observable beyond one successor (fanout != 1 or
+  /// primary output); such gates root the fanout-free regions.
+  bool is_stem(KIndex k) const { return stem_[k] == k; }
+  /// Stem root of k's FFR (k itself when is_stem(k)).
+  KIndex stem_of(KIndex k) const { return stem_[k]; }
+  /// Ordinal of stem_of(k) in stems() — dense stem numbering for grouping.
+  std::uint32_t stem_ordinal(KIndex k) const { return stem_ordinal_[stem_[k]]; }
+  /// All stems in level order (ascending kernel index).
+  std::span<const KIndex> stems() const { return stems_; }
+  std::size_t stem_count() const { return stems_.size(); }
+  /// Gates of the FFR rooted at stems()[ordinal], ascending kernel index.
+  /// The member lists partition the gate set.
+  std::span<const KIndex> ffr_members(std::uint32_t ordinal) const {
+    return {ffr_members_.data() + ffr_offset_[ordinal],
+            ffr_members_.data() + ffr_offset_[ordinal + 1]};
+  }
+
   /// Raw array access for the innermost loops (kernel-index space).
   const GateType* type_data() const { return types_.data(); }
   const std::uint32_t* fanin_offset_data() const { return fanin_offset_.data(); }
   const KIndex* fanin_data() const { return fanin_flat_.data(); }
+  const std::uint32_t* fanout_offset_data() const { return fanout_offset_.data(); }
+  const KIndex* fanout_data() const { return fanout_flat_.data(); }
   const MicroOp* op_data() const { return ops_.data(); }
   const std::uint64_t* invert_data() const { return inv_.data(); }
+  const std::uint32_t* level_data() const { return levels_.data(); }
+  const char* is_output_data() const { return is_output_.data(); }
 
  private:
   const Netlist* n_;
@@ -112,16 +145,25 @@ class SimKernel {
   std::vector<KIndex> constants_;
   std::vector<MicroOp> ops_;
   std::vector<std::uint64_t> inv_;
+  std::vector<KIndex> stem_;           // per gate: its FFR's stem root
+  std::vector<std::uint32_t> stem_ordinal_;  // per stem gate: index in stems_
+  std::vector<KIndex> stems_;          // stems in level order
+  std::vector<std::uint32_t> ffr_offset_;    // size stems_+1, CSR into members
+  std::vector<KIndex> ffr_members_;    // gates grouped by stem ordinal
   unsigned max_level_ = 0;
 };
 
-/// Evaluate one gate in the micro-op lowering over 64-bit pattern words.
-/// Fanin slot i (indexing the kernel's flat fanin array, [b, e), e > b) is
-/// supplied by `in(i)`; inlines to the same code as an open-coded loop.
+/// Evaluate one gate in the micro-op lowering over pattern words.  Fanin
+/// slot i (indexing the kernel's flat fanin array, [b, e), e > b) is
+/// supplied by `in(i)`; the word type (std::uint64_t or a wide SimWord<W>)
+/// is deduced from its return value.  Inlines to the same code as an
+/// open-coded loop — at W=1 this is byte-for-byte the original 64-bit
+/// reduction.
 template <class In>
-std::uint64_t eval_reduce(MicroOp op, std::uint64_t inv, std::uint32_t b,
-                          std::uint32_t e, In&& in) {
-  std::uint64_t v = in(b);
+auto eval_reduce(MicroOp op, std::uint64_t inv, std::uint32_t b,
+                 std::uint32_t e, In&& in) {
+  using Word = std::decay_t<decltype(in(b))>;
+  Word v = in(b);
   switch (op) {
     case MicroOp::And:
       for (std::uint32_t i = b + 1; i < e; ++i) v &= in(i);
@@ -134,35 +176,70 @@ std::uint64_t eval_reduce(MicroOp op, std::uint64_t inv, std::uint32_t b,
       break;
     case MicroOp::Copy: break;
   }
-  return v ^ inv;
+  return v ^ w_broadcast<Word>(inv);
 }
 
 /// Bit-parallel 2-valued simulator running on a SimKernel (the fast path;
 /// BitParSim in bitpar_sim.hpp is the seed reference loop kept for
-/// differential testing and benchmarking).  64 patterns per evaluation pass.
-class KernelSim {
+/// differential testing and benchmarking).  Each evaluation pass carries
+/// W x 64 patterns: a group of up to W consecutive 64-lane PatternBlocks is
+/// simulated at once, block j occupying sub-word j (pattern lane j*64 + L =
+/// lane L of block j).  PatternBlock itself stays the 64-lane unit, so the
+/// narrow ABI is untouched; KernelSim below is the W=1 instantiation and is
+/// exactly the pre-template simulator.
+template <unsigned W>
+class WideSimT {
  public:
-  /// The kernel must outlive the simulator.
-  explicit KernelSim(const SimKernel& k);
+  using Word = SimWord<W>;
 
-  /// Simulate one block; afterwards value(g) holds gate g's word.
-  void simulate(const PatternBlock& block);
+  /// The kernel must outlive the simulator.
+  explicit WideSimT(const SimKernel& k);
+
+  /// Simulate a group of 1..W blocks (same width each); afterwards value(g)
+  /// holds gate g's word, block j in sub-word j (missing blocks are zero).
+  void simulate(std::span<const PatternBlock> blocks);
+  /// Simulate one block (sub-word 0 at W>1).
+  void simulate(const PatternBlock& block) { simulate({&block, 1}); }
+
+  /// Lane mask of a block group: sub-word j = blocks[j].lane_mask().
+  static Word group_lane_mask(std::span<const PatternBlock> blocks);
+
+  /// Number of blocks (1..W) starting at `bi` that form one simulation
+  /// group: a block is appended only while the previously added block is
+  /// full (count == 64), so lane j*64+L always equals the pattern offset
+  /// within the group — the invariant every simulate() consumer that maps
+  /// lanes back to pattern indices relies on.
+  static std::size_t group_size(std::span<const PatternBlock> blocks,
+                                std::size_t bi) {
+    std::size_t nb = 1;
+    while (nb < W && bi + nb < blocks.size() && blocks[bi + nb - 1].count == 64)
+      ++nb;
+    return nb;
+  }
 
   /// Value by netlist GateId (translated; use values()/value_at for hot paths).
-  std::uint64_t value(GateId g) const { return values_[k_->index_of(g)]; }
+  Word value(GateId g) const { return values_[k_->index_of(g)]; }
   /// Value by kernel index.
-  std::uint64_t value_at(KIndex k) const { return values_[k]; }
+  Word value_at(KIndex k) const { return values_[k]; }
   /// All values, kernel-index space.
-  std::span<const std::uint64_t> values() const { return values_; }
+  std::span<const Word> values() const { return values_; }
 
   /// Output words in primary-output order.
-  std::vector<std::uint64_t> output_words() const;
+  std::vector<Word> output_words() const;
 
   const SimKernel& kernel() const { return *k_; }
 
  private:
   const SimKernel* k_;
-  std::vector<std::uint64_t> values_;
+  std::vector<Word> values_;
 };
+
+extern template class WideSimT<1>;
+#if BIST_WIDE_WORDS
+extern template class WideSimT<4>;
+#endif
+
+/// The 64-lane simulator every pre-wide-word call site was written against.
+using KernelSim = WideSimT<1>;
 
 }  // namespace bist

@@ -39,7 +39,7 @@ MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
     r.lfsr_result = *lfsr_result;
   } else {
     Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
-    r.lfsr_result = fsim.run(lfsr.blocks(width, opt.lfsr_patterns));
+    r.lfsr_result = fsim.run(lfsr.blocks(width, opt.lfsr_patterns), opt.fsim);
   }
   r.lfsr_patterns = r.lfsr_result.patterns;
   r.lfsr_coverage = r.lfsr_result.final_coverage();
@@ -138,7 +138,7 @@ MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
     }
     FaultSimulator tailsim(k, std::move(tail_faults),
                            r.lfsr_result.total_faults, std::move(tail_w));
-    const FaultSimResult tr = tailsim.run(pack_all(r.topoff, width));
+    const FaultSimResult tr = tailsim.run(pack_all(r.topoff, width), opt.fsim);
     topoff_detected = tr.detected;
     topoff_detected_weight = tr.detected_weight;
   }

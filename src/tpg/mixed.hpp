@@ -29,6 +29,10 @@ struct MixedTpgOptions {
   std::size_t lfsr_patterns = 4096;  ///< pseudo-random phase length
   unsigned lfsr_degree = 32;
   std::uint64_t lfsr_seed = 0xBADC0FFEu;
+  /// Fault-simulation engine knobs (threads, word width) for the LFSR phase
+  /// and the final tail accounting; detection results are engine-invariant,
+  /// so these only change speed.
+  FaultSimOptions fsim;
   PodemOptions podem;
   std::uint64_t fill_seed = 0x5EEDF111;  ///< X-fill RNG seed for test cubes
   bool compact = true;           ///< reverse-order compaction of the top-off set

@@ -1,0 +1,70 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+namespace bist {
+
+unsigned resolve_threads(unsigned requested) {
+  unsigned n = requested;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : hw;
+  }
+  // Cap absurd requests (e.g. a negative CLI value cast to unsigned) instead
+  // of spawning until pthread_create fails and std::thread terminates.
+  return std::min(n, kMaxWorkers);
+}
+
+WorkerPool::WorkerPool(unsigned workers) : n_(resolve_threads(workers)) {
+  threads_.reserve(n_ - 1);
+  for (unsigned wid = 1; wid < n_; ++wid)
+    threads_.emplace_back([this, wid] { thread_main(wid); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(unsigned)>& fn) {
+  if (n_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    job_ = &fn;
+    pending_ = n_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(m_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::thread_main(unsigned wid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(wid);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace bist

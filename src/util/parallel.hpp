@@ -1,0 +1,61 @@
+#pragma once
+// Minimal persistent worker pool for the fault-simulation engine.
+//
+// The pool owns workers()-1 std::threads parked on a condition variable;
+// run(fn) wakes them, the calling thread participates as worker 0, and the
+// call returns once every worker has finished fn(worker_id).  Keeping the
+// threads alive across run() calls matters because the fault simulator
+// issues one parallel region per pattern block — thousands per curve — and
+// thread spawn cost would otherwise dominate small circuits.
+//
+// With workers() == 1 no threads are spawned at all and run() is a plain
+// call, so the single-threaded configuration has zero synchronization cost
+// and (by construction) bit-identical behavior to the multi-threaded one.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bist {
+
+/// Upper bound on pool size; requests beyond it are clamped.
+inline constexpr unsigned kMaxWorkers = 256;
+
+/// 0 -> std::thread::hardware_concurrency() (at least 1), else the request,
+/// clamped to kMaxWorkers.
+unsigned resolve_threads(unsigned requested);
+
+class WorkerPool {
+ public:
+  /// `workers` total workers including the calling thread; 0 resolves to the
+  /// hardware concurrency.
+  explicit WorkerPool(unsigned workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned workers() const { return n_; }
+
+  /// Execute fn(wid) for wid in [0, workers()); returns after all complete.
+  /// fn must not throw.  Not reentrant.
+  void run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void thread_main(unsigned wid);
+
+  unsigned n_;
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace bist
