@@ -1,7 +1,6 @@
 #include "fault/fault_sim.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
 #include <numeric>
 #include <stdexcept>
@@ -40,6 +39,11 @@ struct FfrScratch {
   /// in the group's live list (worker-local: stem words never cross the
   /// worker/reduction boundary, unlike the shared det slots).
   std::vector<Word> stem_words;
+  /// Faulty-gate evaluations this worker performed, reduced serially after
+  /// the run.  Lives in the (large) per-worker scratch object rather than a
+  /// shared dense array so the per-chunk flush does not bounce one cache
+  /// line between all workers.
+  std::uint64_t evals = 0;
 
   void init(const SimKernel& k) {
     const std::size_t cnt = k.gate_count();
@@ -168,6 +172,55 @@ SimWord<W> propagate_stem(const SimKernel& k, KIndex stem, SimWord<W> diff,
 }
 
 }  // namespace
+
+std::vector<std::uint32_t> FaultSimResult::tail_at(std::size_t length) const {
+  std::vector<std::uint32_t> tail;
+  for (std::size_t i = 0; i < first_detected.size(); ++i) {
+    const std::int64_t fd = first_detected[i];
+    if (fd < 0 || fd >= static_cast<std::int64_t>(length))
+      tail.push_back(static_cast<std::uint32_t>(i));
+  }
+  return tail;
+}
+
+std::size_t FaultSimResult::detected_at(std::size_t length) const {
+  std::size_t n = 0;
+  for (const std::int64_t fd : first_detected)
+    if (fd >= 0 && fd < static_cast<std::int64_t>(length)) ++n;
+  return n;
+}
+
+FaultSimResult FaultSimulator::prefix_result(const FaultSimResult& full,
+                                             std::size_t length) const {
+  if (length > full.patterns)
+    throw std::invalid_argument("prefix_result: length exceeds the run");
+  if (full.first_detected.size() != faults_.size())
+    throw std::invalid_argument("prefix_result: fault list mismatch");
+  FaultSimResult r;
+  r.total_faults = full.total_faults;
+  r.sim_faults = full.sim_faults;
+  r.total_weight = full.total_weight;
+  r.patterns = length;
+  r.threads = full.threads;
+  r.word_width = full.word_width;
+  r.faulty_gate_evals = full.faulty_gate_evals;
+  r.first_detected = full.first_detected;
+  for (std::size_t f = 0; f < r.first_detected.size(); ++f) {
+    std::int64_t& fd = r.first_detected[f];
+    if (fd >= static_cast<std::int64_t>(length)) {
+      fd = -1;
+    } else if (fd >= 0) {
+      ++r.detected;
+      r.detected_weight += weights_[f];
+    }
+  }
+  // The curves are running sums in pattern order, so the prefix of the full
+  // curve is the shorter run's curve down to the last double bit.
+  r.coverage.assign(full.coverage.begin(), full.coverage.begin() + length);
+  r.coverage_weighted.assign(full.coverage_weighted.begin(),
+                             full.coverage_weighted.begin() + length);
+  return r;
+}
 
 FaultSimulator::FaultSimulator(const SimKernel& k) : k_(&k) {
   const auto all = enumerate_faults(k.netlist());
@@ -425,7 +478,6 @@ FaultSimResult FaultSimulator::run_ffr(std::span<const PatternBlock> blocks,
     s.init(*k_);
     s.stem_words.assign(max_group, w_zero<Word>());
   }
-  std::vector<std::uint64_t> worker_evals(pool.workers(), 0);
   // Per-fault detection slots, written by the owning worker only (each fault
   // lives in exactly one stem group), read in the serial reduction.
   std::vector<Word> det(faults_.size(), w_zero<Word>());
@@ -448,13 +500,13 @@ FaultSimResult FaultSimulator::run_ffr(std::span<const PatternBlock> blocks,
     const Word lanes = WideSimT<W>::group_lane_mask(grp);
     const Word* gv = good.values().data();
 
-    std::atomic<std::uint32_t> cursor{0};
-    pool.run([&](unsigned wid) {
+    // Dynamic grain-1 chunking: stem-group cost is skewed (cone size varies
+    // by orders of magnitude), so workers pull one group at a time.
+    parallel_for(pool, ngroups, 1,
+                 [&](unsigned wid, std::size_t gb, std::size_t ge) {
       FfrScratch<W>& s = scratch[wid];
       std::uint64_t ev = 0;
-      for (;;) {
-        const std::uint32_t g = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (g >= ngroups) break;
+      for (std::size_t g = gb; g < ge; ++g) {
         const auto& lf = live[g];
         if (lf.empty()) continue;
         Word acc = w_zero<Word>();
@@ -476,7 +528,7 @@ FaultSimResult FaultSimulator::run_ffr(std::span<const PatternBlock> blocks,
         for (std::size_t i = 0; i < lf.size(); ++i)
           det[lf[i]] = s.stem_words[i] & obs;
       }
-      worker_evals[wid] += ev;
+      s.evals += ev;
     });
 
     // Serial reduction: per-fault results are independent, so visiting them
@@ -506,7 +558,7 @@ FaultSimResult FaultSimulator::run_ffr(std::span<const PatternBlock> blocks,
     bi += nb;
   }
   r.patterns = base;
-  for (const std::uint64_t ev : worker_evals) r.faulty_gate_evals += ev;
+  for (const FfrScratch<W>& s : scratch) r.faulty_gate_evals += s.evals;
   finalize_curves(r);
   return r;
 }

@@ -88,6 +88,22 @@ struct FaultSimResult {
   double final_coverage_weighted() const {
     return coverage_weighted.empty() ? 0.0 : coverage_weighted.back();
   }
+
+  // --- Prefix views (the mixed-scheme sweep substrate) ---------------------
+  // first_detected is invariant under drop_detected and records the *first*
+  // detecting pattern, so a run over the first L patterns of the same stream
+  // is fully determined by this result: detected-within-L iff
+  // 0 <= first_detected < L.  These helpers read that prefix directly,
+  // letting one max-length pass answer every shorter candidate length
+  // without re-simulating.
+
+  /// Sim-fault indices NOT detected within the first `length` patterns
+  /// (first_detected >= length or undetected), ascending — exactly the
+  /// LFSR-resistant tail the mixed scheme's top-off phase would see after a
+  /// pseudo-random phase of `length` patterns.
+  std::vector<std::uint32_t> tail_at(std::size_t length) const;
+  /// Number of simulated faults detected within the first `length` patterns.
+  std::size_t detected_at(std::size_t length) const;
 };
 
 class FaultSimulator {
@@ -114,6 +130,17 @@ class FaultSimulator {
   /// across every (threads, word_width, ffr) combination.
   FaultSimResult run(std::span<const PatternBlock> blocks,
                      const FaultSimOptions& opt = {});
+
+  /// Restriction of `full` (a result of run() on this simulator) to its
+  /// first `length` patterns: bit-identical — including the coverage-curve
+  /// doubles, which are running sums in pattern order — to what run() over
+  /// only those patterns would have produced, derived without re-simulating.
+  /// Exception: faulty_gate_evals is carried over unchanged from `full`
+  /// (the work measure of the pass actually executed, not of a hypothetical
+  /// shorter one).  Requires length <= full.patterns and a `full` whose
+  /// fault list matches this simulator's.
+  FaultSimResult prefix_result(const FaultSimResult& full,
+                               std::size_t length) const;
 
   /// Lanes of `good_values` (a KernelSim values() array for the current
   /// block, kernel-index space) on which fault f is detected at some primary

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace bist {
 
 namespace {
@@ -266,6 +268,28 @@ PodemResult Podem::generate(const Fault& f, const PodemOptions& opt) {
   else
     faulty_.unforce(f.gate);
   return r;
+}
+
+PodemBatch::PodemBatch(const SimKernel& k, unsigned threads)
+    : pool_(std::make_unique<WorkerPool>(threads)) {
+  engines_.reserve(pool_->workers());
+  for (unsigned w = 0; w < pool_->workers(); ++w)
+    engines_.push_back(std::make_unique<Podem>(k));
+}
+
+PodemBatch::~PodemBatch() = default;
+
+unsigned PodemBatch::workers() const { return pool_->workers(); }
+
+std::vector<PodemResult> PodemBatch::generate(std::span<const Fault> faults,
+                                              const PodemOptions& opt) {
+  std::vector<PodemResult> results(faults.size());
+  parallel_for(*pool_, faults.size(), 1,
+               [&](unsigned wid, std::size_t b, std::size_t e) {
+                 for (std::size_t i = b; i < e; ++i)
+                   results[i] = engines_[wid]->generate(faults[i], opt);
+               });
+  return results;
 }
 
 }  // namespace bist

@@ -18,6 +18,8 @@
 // Redundant.
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -26,6 +28,8 @@
 #include "sim/ternary_sim.hpp"
 
 namespace bist {
+
+class WorkerPool;
 
 enum class PodemStatus : std::uint8_t {
   Detected,   ///< test cube found (and verified by the lock-step sims)
@@ -53,6 +57,12 @@ struct PodemResult {
 
 /// Reusable PODEM engine; generate() may be called for any number of faults.
 /// The kernel must outlive the engine.
+///
+/// Reuse contract (what lets pooled workers hold one engine each): generate()
+/// starts by resetting both lock-step simulators and every per-fault field,
+/// and removes its fault injection before returning, so the result of a call
+/// depends only on (kernel, fault, options) — never on the faults generated
+/// before it.  The engine carries no RNG; the search is fully deterministic.
 class Podem {
  public:
   explicit Podem(const SimKernel& k);
@@ -85,6 +95,39 @@ class Podem {
   std::uint64_t decisions_ = 0;
   std::uint32_t limit_ = 0;
   bool aborted_ = false;
+};
+
+/// Parallel PODEM: one persistent engine (its own good/faulty TernarySim
+/// pair) per worker of an owned WorkerPool, reused across generate() calls —
+/// the construction cost (pool threads + per-engine kernel-sized scratch) is
+/// paid once per batch object, which is what a sweep over many candidate
+/// LFSR lengths needs.
+///
+/// generate() partitions the fault list dynamically at grain 1 (per-fault
+/// cost is heavily skewed: an easy detection is microseconds while a
+/// redundancy proof or abort burns the whole backtrack budget) and each
+/// verdict lands in its fault's slot of the returned vector.  Combined with
+/// the per-engine determinism contract of Podem::generate, the result is in
+/// input order and bit-identical for every worker count.
+class PodemBatch {
+ public:
+  /// `threads` resolved as in resolve_threads(); 1 spawns no threads and
+  /// runs on the caller.  The kernel must outlive the batch.
+  PodemBatch(const SimKernel& k, unsigned threads);
+  ~PodemBatch();
+
+  PodemBatch(const PodemBatch&) = delete;
+  PodemBatch& operator=(const PodemBatch&) = delete;
+
+  unsigned workers() const;
+
+  /// One verdict per fault, input order; see the class comment.
+  std::vector<PodemResult> generate(std::span<const Fault> faults,
+                                    const PodemOptions& opt = {});
+
+ private:
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<std::unique_ptr<Podem>> engines_;  // one per worker
 };
 
 }  // namespace bist

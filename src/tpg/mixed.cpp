@@ -3,130 +3,128 @@
 #include <algorithm>
 
 #include "tpg/lfsr.hpp"
-#include "util/rng.hpp"
+#include "tpg/mixed_phases.hpp"
+#include "util/wallclock.hpp"
 
 namespace bist {
-namespace {
+namespace mixed_phase {
 
-// A PODEM cube guarantees detection for every completion of its X bits, so
-// the fill is free to chase incidental detections; random fill is the
-// standard choice.
-BitVec fill_cube(const std::vector<Ternary>& cube, Rng& rng) {
+BitVec fill_cube(std::span<const Ternary> cube, FillBits& bits) {
   BitVec p(cube.size());
   for (std::size_t i = 0; i < cube.size(); ++i) {
-    const bool bit = cube[i] == Ternary::VX ? rng.next_bool()
-                                            : cube[i] == Ternary::V1;
+    const bool bit =
+        cube[i] == Ternary::VX ? bits.next() : cube[i] == Ternary::V1;
     p.set(i, bit);
   }
   return p;
 }
 
-}  // namespace
-
-MixedSchemeResult run_mixed_tpg(const SimKernel& k, const MixedTpgOptions& opt) {
-  FaultSimulator fsim(k);
-  return run_mixed_tpg(k, fsim, opt);
+bool verify_batched(const SimKernel& k, FaultSimulator& fsim,
+                    std::span<const BitVec> patterns,
+                    std::span<const std::uint32_t> target) {
+  const std::size_t width = k.inputs().size();
+  KernelSim sim(k);
+  bool ok = true;
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t cnt = std::min<std::size_t>(64, patterns.size() - base);
+    const PatternBlock blk = pack_patterns({patterns.data() + base, cnt}, width);
+    sim.simulate(blk);
+    for (std::size_t j = 0; j < cnt; ++j) {
+      const Fault& f = fsim.faults()[target[base + j]];
+      if (!(fsim.detect_lanes(f, sim.values(), blk.lane_mask()) >> j & 1))
+        ok = false;
+    }
+  }
+  return ok;
 }
 
-MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
-                                const MixedTpgOptions& opt,
-                                const FaultSimResult* lfsr_result) {
-  MixedSchemeResult r;
+namespace {
+
+// Reverse-order compaction: simulate the top-off set backwards; a pattern
+// survives only if it detects a target fault not covered by a later
+// (already kept) pattern.  Runs 64 patterns per pass through the PPSFP
+// propagate.  Returns the survivors in application order.
+std::vector<BitVec> compact_reverse(const SimKernel& k, FaultSimulator& fsim,
+                                    std::vector<BitVec> topoff,
+                                    std::span<const std::uint32_t> target) {
   const std::size_t width = k.inputs().size();
-
-  // --- Phase 1: pseudo-random LFSR patterns -------------------------------
-  if (lfsr_result) {
-    r.lfsr_result = *lfsr_result;
-  } else {
-    Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
-    r.lfsr_result = fsim.run(lfsr.blocks(width, opt.lfsr_patterns), opt.fsim);
+  std::vector<BitVec> rev(topoff.rbegin(), topoff.rend());
+  std::vector<char> covered(target.size(), 0);
+  std::vector<char> keep(rev.size(), 0);
+  KernelSim good(k);
+  std::size_t remaining = target.size();
+  std::vector<std::uint64_t> det(target.size(), 0);
+  for (std::size_t base = 0; base < rev.size() && remaining; base += 64) {
+    const std::size_t cnt = std::min<std::size_t>(64, rev.size() - base);
+    const PatternBlock blk = pack_patterns({rev.data() + base, cnt}, width);
+    good.simulate(blk);
+    for (std::size_t t = 0; t < target.size(); ++t)
+      det[t] = covered[t] ? 0
+                          : fsim.detect_lanes(fsim.faults()[target[t]],
+                                              good.values(), blk.lane_mask());
+    for (std::size_t lane = 0; lane < cnt; ++lane) {
+      bool newly = false;
+      for (std::size_t t = 0; t < target.size(); ++t)
+        if (!covered[t] && ((det[t] >> lane) & 1)) {
+          covered[t] = 1;
+          --remaining;
+          newly = true;
+        }
+      if (newly) keep[base + lane] = 1;
+    }
   }
-  r.lfsr_patterns = r.lfsr_result.patterns;
-  r.lfsr_coverage = r.lfsr_result.final_coverage();
-  r.lfsr_coverage_weighted = r.lfsr_result.final_coverage_weighted();
+  std::vector<BitVec> kept;
+  for (std::size_t i = rev.size(); i-- > 0;)  // back to application order
+    if (keep[i]) kept.push_back(std::move(rev[i]));
+  return kept;
+}
 
-  std::vector<std::uint32_t> tail;  // LFSR-resistant faults, sim-fault indices
-  for (std::size_t i = 0; i < r.lfsr_result.first_detected.size(); ++i)
-    if (r.lfsr_result.first_detected[i] < 0)
-      tail.push_back(static_cast<std::uint32_t>(i));
+}  // namespace
+
+void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
+                   std::span<const std::uint32_t> tail,
+                   std::span<const PodemResult* const> verdicts,
+                   const MixedTpgOptions& opt, MixedSchemeResult& r) {
+  const auto t0 = WallClock::now();
   r.tail_faults = tail.size();
 
-  // --- Phase 2: PODEM per tail fault --------------------------------------
-  Podem podem(k);
-  Rng fill_rng(opt.fill_seed);
-  KernelSim verify_sim(k);
+  // X-fill the detected cubes in tail order from a fresh fill stream — the
+  // stream position a cube sees depends only on the X counts of the detected
+  // cubes before it in this point's tail, so a sweep replays it exactly.
+  FillBits bits(opt.fill_seed);
   std::vector<std::uint32_t> target;  // per top-off pattern: its tail fault
-  for (const std::uint32_t idx : tail) {
-    const Fault& f = fsim.faults()[idx];
-    const PodemResult pr = podem.generate(f, opt.podem);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const PodemResult& pr = *verdicts[i];
     r.podem_backtracks += pr.backtracks;
     r.podem_decisions += pr.decisions;
     switch (pr.status) {
-      case PodemStatus::Detected: {
-        BitVec p = fill_cube(pr.cube, fill_rng);
-        if (opt.verify_patterns) {
-          const PatternBlock blk = pack_patterns({&p, 1}, width);
-          verify_sim.simulate(blk);
-          if (!(fsim.detect_lanes(f, verify_sim.values(), blk.lane_mask()) & 1))
-            r.all_verified = false;
-        }
-        r.topoff.push_back(std::move(p));
-        target.push_back(idx);
+      case PodemStatus::Detected:
+        r.topoff.push_back(fill_cube(pr.cube, bits));
+        target.push_back(tail[i]);
         ++r.podem_detected;
         break;
-      }
       case PodemStatus::Redundant:
         ++r.redundant;
-        r.redundant_faults.push_back(f);
+        r.redundant_faults.push_back(fsim.faults()[tail[i]]);
         break;
       case PodemStatus::Aborted:
         ++r.aborted;
-        r.aborted_faults.push_back(f);
+        r.aborted_faults.push_back(fsim.faults()[tail[i]]);
         break;
     }
   }
   r.topoff_before_compaction = r.topoff.size();
+  if (opt.verify_patterns && !r.topoff.empty())
+    r.all_verified = verify_batched(k, fsim, r.topoff, target);
+  r.podem_seconds += seconds_since(t0);
 
-  // --- Phase 3: reverse-order compaction -----------------------------------
-  // Simulate the top-off set backwards; a pattern survives only if it
-  // detects a target fault not covered by a later (already kept) pattern.
-  // Runs 64 patterns per pass through the PPSFP propagate.
-  if (opt.compact && !r.topoff.empty()) {
-    std::vector<BitVec> rev(r.topoff.rbegin(), r.topoff.rend());
-    std::vector<char> covered(target.size(), 0);
-    std::vector<char> keep(rev.size(), 0);
-    KernelSim good(k);
-    std::size_t remaining = target.size();
-    std::vector<std::uint64_t> det(target.size(), 0);
-    for (std::size_t base = 0; base < rev.size() && remaining; base += 64) {
-      const std::size_t cnt = std::min<std::size_t>(64, rev.size() - base);
-      const PatternBlock blk =
-          pack_patterns({rev.data() + base, cnt}, width);
-      good.simulate(blk);
-      for (std::size_t t = 0; t < target.size(); ++t)
-        det[t] = covered[t] ? 0
-                            : fsim.detect_lanes(fsim.faults()[target[t]],
-                                                good.values(), blk.lane_mask());
-      for (std::size_t lane = 0; lane < cnt; ++lane) {
-        bool newly = false;
-        for (std::size_t t = 0; t < target.size(); ++t)
-          if (!covered[t] && ((det[t] >> lane) & 1)) {
-            covered[t] = 1;
-            --remaining;
-            newly = true;
-          }
-        if (newly) keep[base + lane] = 1;
-      }
-    }
-    std::vector<BitVec> kept;
-    for (std::size_t i = rev.size(); i-- > 0;)  // back to application order
-      if (keep[i]) kept.push_back(std::move(rev[i]));
-    r.topoff = std::move(kept);
-  }
+  const auto t1 = WallClock::now();
+  if (opt.compact && !r.topoff.empty())
+    r.topoff = compact_reverse(k, fsim, std::move(r.topoff), target);
   r.topoff_patterns = r.topoff.size();
 
-  // --- Final accounting: fault-sim the emitted set against the whole tail,
-  // so incidental detections (random fill catching aborted faults) count.
+  // Final accounting: fault-sim the emitted set against the whole tail, so
+  // incidental detections (random fill catching aborted faults) count.
   std::size_t topoff_detected = 0;
   std::uint64_t topoff_detected_weight = 0;
   if (!r.topoff.empty()) {
@@ -138,7 +136,8 @@ MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
     }
     FaultSimulator tailsim(k, std::move(tail_faults),
                            r.lfsr_result.total_faults, std::move(tail_w));
-    const FaultSimResult tr = tailsim.run(pack_all(r.topoff, width), opt.fsim);
+    const FaultSimResult tr =
+        tailsim.run(pack_all(r.topoff, k.inputs().size()), opt.fsim);
     topoff_detected = tr.detected;
     topoff_detected_weight = tr.detected_weight;
   }
@@ -152,6 +151,53 @@ MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
           ? double(lr.detected_weight + topoff_detected_weight) /
                 double(lr.total_weight)
           : 0.0;
+  r.compact_seconds += seconds_since(t1);
+}
+
+}  // namespace mixed_phase
+
+MixedSchemeResult run_mixed_tpg(const SimKernel& k, const MixedTpgOptions& opt) {
+  FaultSimulator fsim(k);
+  return run_mixed_tpg(k, fsim, opt);
+}
+
+MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
+                                const MixedTpgOptions& opt,
+                                const FaultSimResult* lfsr_result) {
+  MixedSchemeResult r;
+  const std::size_t width = k.inputs().size();
+
+  // --- Phase 1: pseudo-random LFSR patterns -------------------------------
+  const auto t0 = WallClock::now();
+  if (lfsr_result) {
+    r.lfsr_result = *lfsr_result;
+  } else {
+    Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
+    r.lfsr_result = fsim.run(lfsr.blocks(width, opt.lfsr_patterns), opt.fsim);
+    r.lfsr_seconds = seconds_since(t0);
+  }
+  r.lfsr_patterns = r.lfsr_result.patterns;
+  r.lfsr_coverage = r.lfsr_result.final_coverage();
+  r.lfsr_coverage_weighted = r.lfsr_result.final_coverage_weighted();
+
+  // LFSR-resistant faults, ascending sim-fault indices.
+  const std::vector<std::uint32_t> tail =
+      r.lfsr_result.tail_at(r.lfsr_result.patterns);
+
+  // --- Phase 2: PODEM per tail fault --------------------------------------
+  const auto t1 = WallClock::now();
+  std::vector<Fault> tail_faults;
+  tail_faults.reserve(tail.size());
+  for (const std::uint32_t idx : tail) tail_faults.push_back(fsim.faults()[idx]);
+  PodemBatch batch(k, opt.podem_threads);
+  const std::vector<PodemResult> verdicts =
+      batch.generate(tail_faults, opt.podem);
+  r.podem_seconds = seconds_since(t1);
+
+  // --- Phases 3+: fill, verify, compact, account --------------------------
+  std::vector<const PodemResult*> vp(verdicts.size());
+  for (std::size_t i = 0; i < verdicts.size(); ++i) vp[i] = &verdicts[i];
+  mixed_phase::topoff_phases(k, fsim, tail, vp, opt, r);
   return r;
 }
 

@@ -34,6 +34,10 @@ struct MixedTpgOptions {
   /// so these only change speed.
   FaultSimOptions fsim;
   PodemOptions podem;
+  /// Worker count for the PODEM top-off phase (resolve_threads semantics:
+  /// 0 = hardware concurrency).  Verdicts are reduced in fixed fault order,
+  /// so results are bit-identical for every value; this only changes speed.
+  unsigned podem_threads = 1;
   std::uint64_t fill_seed = 0x5EEDF111;  ///< X-fill RNG seed for test cubes
   bool compact = true;           ///< reverse-order compaction of the top-off set
   bool verify_patterns = true;   ///< fault-sim check of every emitted pattern
@@ -65,6 +69,14 @@ struct MixedSchemeResult {
   bool all_verified = true;
   /// Full LFSR-phase result (coverage curves for the scheduler).
   FaultSimResult lfsr_result;
+  /// Wall-clock phase breakdown: pseudo-random phase (LFSR stream + fault
+  /// simulation; 0 when a precomputed result was supplied), deterministic
+  /// phase (PODEM generation + X-fill + pattern verification), and back end
+  /// (compaction + final tail accounting).  Sweep points report only the
+  /// work actually done for that point (cache hits cost no PODEM time).
+  double lfsr_seconds = 0.0;
+  double podem_seconds = 0.0;
+  double compact_seconds = 0.0;
 };
 
 /// Run the mixed scheme on a compiled circuit.  Deterministic for a given

@@ -1,0 +1,77 @@
+#pragma once
+// Internal building blocks of the mixed scheme's deterministic back end,
+// shared between run_mixed_tpg (one LFSR length) and run_mixed_sweep (many
+// candidate lengths over one LFSR pass).  Everything here is a pure function
+// of its inputs, which is what makes the sweep's reuse of cached PODEM
+// verdicts bit-identical to an independent per-length run: only the tail
+// membership and the fill-stream replay depend on the LFSR length.
+//
+// Not part of the public surface; subject to change with the sweep engine.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault_sim.hpp"
+#include "fault/podem.hpp"
+#include "sim/kernel.hpp"
+#include "tpg/mixed.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace bist::mixed_phase {
+
+/// Deterministic X-fill bit source: 64-bit PCG words sliced LSB-first, one
+/// bit consumed per X.  Word-granular draws cost 1/64th the RNG work of the
+/// former one-draw-per-bit scheme; the emitted stream is a fixed function of
+/// the seed alone, so replaying a point's fill is just re-walking its tail.
+class FillBits {
+ public:
+  explicit FillBits(std::uint64_t seed) : rng_(seed) {}
+
+  bool next() {
+    if (left_ == 0) {
+      word_ = rng_.next_u64();
+      left_ = 64;
+    }
+    const bool b = word_ & 1;
+    word_ >>= 1;
+    --left_;
+    return b;
+  }
+
+ private:
+  Rng rng_;
+  std::uint64_t word_ = 0;
+  unsigned left_ = 0;
+};
+
+/// Complete a PODEM cube into a fully-specified pattern: specified bits are
+/// copied, X bits drawn from `bits` in cube order.  A PODEM cube guarantees
+/// detection for every completion of its X bits, so the fill is free to
+/// chase incidental detections; random fill is the standard choice.
+BitVec fill_cube(std::span<const Ternary> cube, FillBits& bits);
+
+/// Fault-sim check of every pattern against its target fault
+/// (`fsim.faults()[target[i]]` for patterns[i]), batched 64 patterns per
+/// KernelSim pass instead of one pass per pattern.  Returns true iff every
+/// pattern detects its target.
+bool verify_batched(const SimKernel& k, FaultSimulator& fsim,
+                    std::span<const BitVec> patterns,
+                    std::span<const std::uint32_t> target);
+
+/// Everything after the PODEM verdicts for one LFSR length: X-fill the
+/// detected cubes (fresh fill stream from opt.fill_seed, tail order),
+/// verification, reverse-order compaction, and the final tail accounting.
+/// `tail` holds the point's sim-fault indices ascending and `verdicts[i]`
+/// the PODEM outcome for tail[i].  Requires r.lfsr_result (plus the
+/// lfsr_patterns/lfsr_coverage fields) to be filled in already; completes
+/// every remaining field of r and adds the fill+verify wall-clock to
+/// r.podem_seconds and the compaction+accounting wall-clock to
+/// r.compact_seconds.
+void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
+                   std::span<const std::uint32_t> tail,
+                   std::span<const PodemResult* const> verdicts,
+                   const MixedTpgOptions& opt, MixedSchemeResult& r);
+
+}  // namespace bist::mixed_phase

@@ -1,0 +1,104 @@
+#include "tpg/sweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tpg/lfsr.hpp"
+#include "tpg/mixed_phases.hpp"
+#include "util/wallclock.hpp"
+
+namespace bist {
+
+MixedSweepResult run_mixed_sweep(const SimKernel& k,
+                                 std::span<const std::size_t> lengths,
+                                 const MixedTpgOptions& opt) {
+  FaultSimulator fsim(k);
+  return run_mixed_sweep(k, fsim, lengths, opt);
+}
+
+MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
+                                 std::span<const std::size_t> lengths,
+                                 const MixedTpgOptions& opt,
+                                 const FaultSimResult* full) {
+  MixedSweepResult sr;
+  sr.lengths.assign(lengths.begin(), lengths.end());
+  if (lengths.empty()) return sr;
+  const std::size_t width = k.inputs().size();
+  const std::size_t lmax = *std::max_element(lengths.begin(), lengths.end());
+
+  // --- One LFSR fault-sim pass amortized over every candidate length ------
+  FaultSimResult own_full;
+  if (full) {
+    if (full->patterns < lmax || full->first_detected.size() != fsim.faults().size())
+      throw std::invalid_argument(
+          "run_mixed_sweep: supplied LFSR result does not cover the sweep");
+  } else {
+    const auto t0 = WallClock::now();
+    Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
+    own_full = fsim.run(lfsr.blocks(width, lmax), opt.fsim);
+    sr.stats.lfsr_seconds = seconds_since(t0);
+    full = &own_full;
+  }
+
+  // Distinct lengths descending: the tail only grows from point to point, so
+  // a verdict cached when a fault first enters the tail serves every
+  // subsequent (shorter) length.
+  std::vector<std::size_t> order(sr.lengths);
+  std::sort(order.begin(), order.end(), std::greater<>());
+  order.erase(std::unique(order.begin(), order.end()), order.end());
+
+  // Cross-point verdict cache, one slot per sim fault.
+  std::vector<char> cached(fsim.faults().size(), 0);
+  std::vector<PodemResult> cache(fsim.faults().size());
+  PodemBatch batch(k, opt.podem_threads);
+  sr.stats.podem_threads = batch.workers();
+
+  std::vector<MixedSchemeResult> by_order;
+  by_order.reserve(order.size());
+  for (const std::size_t len : order) {
+    MixedSchemeResult r;
+    r.lfsr_result = fsim.prefix_result(*full, len);
+    r.lfsr_patterns = len;
+    r.lfsr_coverage = r.lfsr_result.final_coverage();
+    r.lfsr_coverage_weighted = r.lfsr_result.final_coverage_weighted();
+    const std::vector<std::uint32_t> tail = full->tail_at(len);
+
+    // PODEM only the faults that just entered the tail; everything else is
+    // a cache hit.
+    const auto t1 = WallClock::now();
+    std::vector<std::uint32_t> miss;
+    std::vector<Fault> miss_faults;
+    for (const std::uint32_t idx : tail)
+      if (!cached[idx]) {
+        miss.push_back(idx);
+        miss_faults.push_back(fsim.faults()[idx]);
+      }
+    std::vector<PodemResult> fresh = batch.generate(miss_faults, opt.podem);
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      cache[miss[j]] = std::move(fresh[j]);
+      cached[miss[j]] = 1;
+    }
+    sr.stats.podem_calls += miss.size();
+    sr.stats.podem_cache_hits += tail.size() - miss.size();
+    r.podem_seconds = seconds_since(t1);
+
+    std::vector<const PodemResult*> vp(tail.size());
+    for (std::size_t i = 0; i < tail.size(); ++i) vp[i] = &cache[tail[i]];
+    mixed_phase::topoff_phases(k, fsim, tail, vp, opt, r);
+    sr.stats.podem_seconds += r.podem_seconds;
+    sr.stats.compact_seconds += r.compact_seconds;
+    by_order.push_back(std::move(r));
+  }
+
+  // Hand results back in the caller's length order (duplicates share a copy).
+  sr.points.reserve(sr.lengths.size());
+  for (const std::size_t len : sr.lengths) {
+    const std::size_t pos =
+        std::lower_bound(order.begin(), order.end(), len, std::greater<>()) -
+        order.begin();
+    sr.points.push_back(by_order[pos]);
+  }
+  return sr;
+}
+
+}  // namespace bist

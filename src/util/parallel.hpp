@@ -12,6 +12,8 @@
 // call, so the single-threaded configuration has zero synchronization cost
 // and (by construction) bit-identical behavior to the multi-threaded one.
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -57,5 +59,30 @@ class WorkerPool {
   unsigned pending_ = 0;
   bool stop_ = false;
 };
+
+/// Dynamic work distribution over a pool: workers repeatedly grab
+/// `grain`-sized chunks [b, e) of the index range [0, n) off a shared atomic
+/// cursor and call fn(wid, b, e) until the range is exhausted.  Chunks are
+/// claimed in ascending order but executed by whichever worker gets there
+/// first, so load balances itself when per-index cost is skewed — use grain
+/// 1 for heavy-tailed work (PODEM faults: microseconds for easy detections
+/// vs. a full backtrack-limit search for aborts), larger grains to amortize
+/// cursor traffic when items are uniform and cheap.  The work *content* of
+/// each index is fixed by the caller, so index-addressed results are
+/// independent of the worker/chunk assignment.
+template <class Fn>
+void parallel_for(WorkerPool& pool, std::size_t n, std::size_t grain,
+                  Fn&& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  std::atomic<std::size_t> cursor{0};
+  pool.run([&](unsigned wid) {
+    for (;;) {
+      const std::size_t b = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (b >= n) break;
+      fn(wid, b, std::min(b + grain, n));
+    }
+  });
+}
 
 }  // namespace bist

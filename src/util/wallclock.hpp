@@ -1,0 +1,15 @@
+#pragma once
+// Shared steady-clock timing shorthand for the phase-timed sections (mixed
+// scheme, sweep engine, bench harness).
+
+#include <chrono>
+
+namespace bist {
+
+using WallClock = std::chrono::steady_clock;
+
+inline double seconds_since(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+
+}  // namespace bist

@@ -1,0 +1,174 @@
+// Differential check of the incremental mixed-scheme sweep engine: every
+// sweep point must be bit-identical to an independent run_mixed_tpg at that
+// length — tail size, PODEM verdicts and counters, the emitted top-off
+// pattern sets before and after compaction, both coverage conventions, and
+// the derived LFSR-phase prefix (first_detected + coverage-curve doubles) —
+// at every PODEM thread count in {1, 2, 8}, on the full ISCAS85 surrogate
+// family.  Also checks the prefix/tail helpers directly and the parallel
+// PODEM path of run_mixed_tpg itself against its serial reduction.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "circuits/iscas85_family.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/kernel.hpp"
+#include "test_util.hpp"
+#include "tpg/lfsr.hpp"
+#include "tpg/mixed.hpp"
+#include "tpg/sweep.hpp"
+
+using namespace bist;
+
+namespace {
+
+// Everything except faulty_gate_evals (the sweep's derived prefixes carry
+// the shared pass's work measure, documented in prefix_result).
+bool same_lfsr_result(const FaultSimResult& a, const FaultSimResult& b) {
+  bool ok = true;
+  ok = ok && a.total_faults == b.total_faults;
+  ok = ok && a.sim_faults == b.sim_faults;
+  ok = ok && a.detected == b.detected;
+  ok = ok && a.detected_weight == b.detected_weight;
+  ok = ok && a.total_weight == b.total_weight;
+  ok = ok && a.patterns == b.patterns;
+  ok = ok && a.threads == b.threads;
+  ok = ok && a.word_width == b.word_width;
+  ok = ok && a.first_detected == b.first_detected;
+  ok = ok && a.coverage == b.coverage;
+  ok = ok && a.coverage_weighted == b.coverage_weighted;
+  return ok;
+}
+
+bool same_point(const MixedSchemeResult& a, const MixedSchemeResult& b) {
+  bool ok = true;
+  ok = ok && a.lfsr_patterns == b.lfsr_patterns;
+  ok = ok && a.tail_faults == b.tail_faults;
+  ok = ok && a.podem_detected == b.podem_detected;
+  ok = ok && a.redundant == b.redundant;
+  ok = ok && a.aborted == b.aborted;
+  ok = ok && a.podem_backtracks == b.podem_backtracks;
+  ok = ok && a.podem_decisions == b.podem_decisions;
+  ok = ok && a.topoff_before_compaction == b.topoff_before_compaction;
+  ok = ok && a.topoff_patterns == b.topoff_patterns;
+  ok = ok && a.topoff == b.topoff;  // exact emitted pattern bits
+  ok = ok && a.redundant_faults == b.redundant_faults;
+  ok = ok && a.aborted_faults == b.aborted_faults;
+  ok = ok && a.lfsr_coverage == b.lfsr_coverage;
+  ok = ok && a.lfsr_coverage_weighted == b.lfsr_coverage_weighted;
+  ok = ok && a.final_coverage == b.final_coverage;
+  ok = ok && a.final_coverage_weighted == b.final_coverage_weighted;
+  ok = ok && a.all_verified == b.all_verified;
+  ok = ok && same_lfsr_result(a.lfsr_result, b.lfsr_result);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  for (const std::string& name : iscas85_names()) {
+    const Netlist n = make_iscas85(name);
+    const SimKernel k(n);
+    FaultSimulator fsim(k);
+
+    // Unsorted with a duplicate: the engine must hand results back in caller
+    // order regardless of its internal descending evaluation.  The deep
+    // 7-point sweep down to a 64-pattern phase (large tails, so the naive
+    // reference loop is expensive) runs on two representative circuits; the
+    // rest of the family gets 3 moderate lengths to keep the runtime sane.
+    const bool deep = name == "c17" || name == "c432s" || name == "c880s";
+    const std::vector<std::size_t> lengths =
+        deep ? std::vector<std::size_t>{256, 64, 512, 128, 320, 448, 64}
+             : std::vector<std::size_t>{384, 256, 512};
+    const std::size_t min_pos = 1;  // the min length sits at index 1 in both
+
+    MixedTpgOptions opt;
+    // Small abort budget: the surrogate tails are mostly hard reconvergent
+    // faults that burn the whole limit, so the naive reference loop's cost
+    // scales with it; 20 keeps detected/redundant/aborted all represented.
+    opt.podem.backtrack_limit = 20;
+    opt.fsim.threads = 4;  // fsim engine knobs never change detection results
+
+    // Prefix/tail helpers against an independent shorter run.
+    {
+      Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
+      const auto blocks = lfsr.blocks(n.input_count(), 512);
+      const FaultSimResult full = fsim.run(blocks, opt.fsim);
+      const FaultSimResult sub =
+          fsim.run(std::span<const PatternBlock>(blocks).first(256 / 64),
+                   opt.fsim);
+      const FaultSimResult pre = fsim.prefix_result(full, 256);
+      CHECK(same_lfsr_result(pre, sub));
+      CHECK_EQ(pre.detected, full.detected_at(256));
+      const auto tail = full.tail_at(256);
+      CHECK_EQ(tail.size(), full.sim_faults - pre.detected);
+      for (const std::uint32_t idx : tail) {
+        const std::int64_t fd = full.first_detected[idx];
+        CHECK(fd < 0 || fd >= 256);
+      }
+      CHECK_EQ(full.tail_at(full.patterns).size(),
+               full.sim_faults - full.detected);
+    }
+
+    // Independent per-length references (serial PODEM reduction); duplicate
+    // lengths reuse the first computation — run_mixed_tpg is deterministic.
+    std::vector<MixedSchemeResult> ref;
+    for (std::size_t p = 0; p < lengths.size(); ++p) {
+      const auto prev = std::find(lengths.begin(), lengths.begin() + p, lengths[p]);
+      if (prev != lengths.begin() + p) {
+        ref.push_back(ref[prev - lengths.begin()]);
+        continue;
+      }
+      MixedTpgOptions o = opt;
+      o.lfsr_patterns = lengths[p];
+      o.podem_threads = 1;
+      ref.push_back(run_mixed_tpg(k, fsim, o));
+    }
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      MixedTpgOptions o = opt;
+      o.podem_threads = threads;
+      const MixedSweepResult sw = run_mixed_sweep(k, fsim, lengths, o);
+      CHECK_EQ(sw.points.size(), lengths.size());
+      CHECK_EQ(sw.lengths.size(), lengths.size());
+      for (std::size_t p = 0; p < lengths.size(); ++p) {
+        CHECK_EQ(sw.lengths[p], lengths[p]);
+        CHECK(same_point(sw.points[p], ref[p]));
+      }
+      // Each distinct fault is generated at most once across the sweep: the
+      // calls are exactly the largest tail (the one at the min length), and
+      // calls + hits account for every distinct point's tail walk.
+      CHECK_EQ(sw.stats.podem_calls, sw.points[min_pos].tail_faults);
+      std::size_t distinct_tails = 0;
+      for (std::size_t p = 0; p < lengths.size(); ++p)
+        if (p == 0 ||
+            std::find(lengths.begin(), lengths.begin() + p, lengths[p]) ==
+                lengths.begin() + p)
+          distinct_tails += sw.points[p].tail_faults;
+      CHECK_EQ(sw.stats.podem_calls + sw.stats.podem_cache_hits,
+               distinct_tails);
+      CHECK_EQ(sw.stats.podem_threads, threads);
+    }
+  }
+
+  // run_mixed_tpg's own parallel PODEM path must match its serial reduction
+  // (one representative circuit keeps the runtime sane; the sweep loop above
+  // already covers the batch engine at every thread count).
+  {
+    const Netlist n = make_iscas85("c432s");
+    const SimKernel k(n);
+    FaultSimulator fsim(k);
+    MixedTpgOptions o;
+    o.lfsr_patterns = 256;
+    o.podem.backtrack_limit = 50;
+    o.podem_threads = 1;
+    const MixedSchemeResult ref = run_mixed_tpg(k, fsim, o);
+    for (const unsigned threads : {2u, 8u}) {
+      o.podem_threads = threads;
+      CHECK(same_point(run_mixed_tpg(k, fsim, o), ref));
+    }
+  }
+
+  return bist_test::summary();
+}
