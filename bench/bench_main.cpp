@@ -25,11 +25,23 @@
 // the naive/sweep speedup: the cost conversion that makes the scheduler's
 // length-vs-ROM trade-off search cheap.
 //
+// The bist_plan section closes the paper's loop: the scheduler picks the
+// knee of the sweep's length-vs-ROM trade-off (optionally under a
+// --budget test-time cap), the synthesizer emits the gate-level BIST
+// wrapper (LFSR + counter + decoded-pattern ROM + muxed CUT copy) as
+// wrapper_<circuit>.bench, and the self-simulation harness drives the
+// wrapper cycle by cycle, proving the applied patterns and the achieved
+// CUT coverage reproduce the scheduled point exactly
+// (wrapper_matches_plan gates the run).  --plot adds the
+// coverage-vs-length and ROM-vs-length trade-off curves so the knee is
+// visible in CI logs.
+//
 // Usage: bench_fault_sim [--patterns N] [--reps N] [--threads N] [--width W]
 //                        [--circuits c17,c6288s,...]
 //                        [--podem-backtracks N] [--no-mixed]
 //                        [--mixed-reps N] [--no-sweep] [--sweep-reps N]
 //                        [--sweep-lengths a,b,c]
+//                        [--no-bist] [--budget N] [--wrapper-dir DIR]
 //                        [--out FILE] [--plot]
 
 #include <cstdint>
@@ -40,8 +52,12 @@
 #include <string>
 #include <vector>
 
+#include "bist/schedule.hpp"
+#include "bist/synth.hpp"
+#include "bist/verify.hpp"
 #include "circuits/iscas85_family.hpp"
 #include "fault/fault_sim.hpp"
+#include "netlist/bench_io.hpp"
 #include "netlist/stats.hpp"
 #include "sim/bitpar_sim.hpp"
 #include "sim/kernel.hpp"
@@ -128,6 +144,23 @@ std::string json_num(double v) {
   return os.str();
 }
 
+// The wrapper path is the one user-supplied string interpolated into the
+// JSON; escape it so e.g. --wrapper-dir values with quotes or backslashes
+// cannot break the output.
+std::string json_str(const std::string& s) {
+  std::ostringstream os;
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20)
+      os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+         << "0123456789abcdef"[c & 0xf];
+    else os << c;
+  }
+  os << '"';
+  return os.str();
+}
+
 // Per-point equality of the fields the scheduler consumes — the sweep
 // engine's contract is that these are bit-identical to the naive loop.
 bool same_scheme_point(const bist::MixedSchemeResult& a,
@@ -186,6 +219,9 @@ int run_bench(int argc, char** argv) {
   bool sweep = true;
   int sweep_reps = 2;
   std::vector<std::size_t> sweep_lengths;  // empty = derive from --patterns
+  bool run_bist = true;
+  std::size_t budget = 0;          // scheduler test-time budget, 0 = none
+  std::string wrapper_dir = ".";   // where wrapper_<circuit>.bench lands
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -218,6 +254,12 @@ int run_bench(int argc, char** argv) {
       sweep = false;
     } else if (a == "--sweep-reps") {
       sweep_reps = std::stoi(next());
+    } else if (a == "--no-bist") {
+      run_bist = false;
+    } else if (a == "--budget") {
+      budget = std::stoul(next());
+    } else if (a == "--wrapper-dir") {
+      wrapper_dir = next();
     } else if (a == "--sweep-lengths") {
       sweep_lengths.clear();
       const std::string list = next();
@@ -233,6 +275,7 @@ int run_bench(int argc, char** argv) {
                    "[--threads N] [--width W] [--circuits a,b] "
                    "[--podem-backtracks N] [--no-mixed] [--mixed-reps N] "
                    "[--no-sweep] [--sweep-reps N] [--sweep-lengths a,b,c] "
+                   "[--no-bist] [--budget N] [--wrapper-dir DIR] "
                    "[--out FILE] [--plot]\n";
       return 2;
     }
@@ -260,6 +303,7 @@ int run_bench(int argc, char** argv) {
 
   double c6288_speedup = 0;
   bool all_verified = true;
+  bool wrappers_ok = true;
   bool first = true;
   for (const std::string& name : names) {
     bist::Netlist n = bist::make_iscas85(name);
@@ -393,6 +437,60 @@ int run_bench(int argc, char** argv) {
                 << sw.stats.podem_threads << " threads)\n";
     }
 
+    // --- BIST hardware plan: schedule -> synthesize -> self-verify --------
+    bist::BistPlan plan;
+    bist::BistSynthResult syn;
+    bist::WrapperVerification wv;
+    std::string wrapper_file;
+    double sched_secs = 0, synth_secs = 0, selfsim_secs = 0;
+    const bool do_bist = mixed && sweep && run_bist;
+    if (!do_bist && run_bist && first) {
+      // --budget / --wrapper-dir would be silently dead otherwise.
+      std::cerr << "note: BIST plan skipped (" << (mixed ? "--no-sweep" : "--no-mixed")
+                << " disables the sweep it schedules from)\n";
+    }
+    if (do_bist) {
+      bist::ScheduleOptions so;
+      so.test_time_budget = budget;
+      so.lfsr_degree = mopt.lfsr_degree;
+      so.lfsr_seed = mopt.lfsr_seed;
+      const auto tp0 = Clock::now();
+      plan = bist::schedule_bist(sw, n.input_count(), so);
+      sched_secs = seconds_since(tp0);
+
+      const auto ts0 = Clock::now();
+      syn = bist::synthesize_bist_wrapper(n, plan);
+      synth_secs = seconds_since(ts0);
+
+      wrapper_file = wrapper_dir + "/wrapper_" + name + ".bench";
+      std::ofstream wf(wrapper_file);
+      wf << bist::write_bench(syn.wrapper);
+      wf.flush();
+      if (!wf) {
+        std::cerr << "error: could not write " << wrapper_file << "\n";
+        return 1;
+      }
+
+      const auto tv0 = Clock::now();
+      wv = bist::verify_wrapper(syn.wrapper, n, plan,
+                                sw.points[plan.point_index], fopt);
+      selfsim_secs = seconds_since(tv0);
+      wrappers_ok = wrappers_ok && wv.ok();
+
+      std::cout << name << ": bist plan L=" << plan.lfsr_patterns << " + "
+                << plan.topoff_patterns << " ROM patterns ("
+                << plan.rom_bits << " ROM bits, "
+                << plan.area.area_bits() << " area bits, "
+                << bist::format_fixed(syn.actual.total(), 1)
+                << " GE), wrapper " << syn.wrapper.gate_count() << " gates -> "
+                << wrapper_file << ", self-sim " << wv.cycles
+                << " cycles coverage "
+                << bist::format_fixed(100 * wv.achieved_coverage, 2) << "%"
+                << (wv.ok() ? " == plan" : " [PLAN MISMATCH]") << " ("
+                << bist::format_fixed(sched_secs + synth_secs + selfsim_secs, 2)
+                << "s)\n";
+    }
+
     if (!first) js << ",\n";
     first = false;
     js << "    {\n      \"name\": \"" << name << "\",\n"
@@ -495,6 +593,67 @@ int run_bench(int argc, char** argv) {
          << "        \"points_match_naive\": "
          << (sweep_match ? "true" : "false") << "\n      }";
     }
+    if (do_bist) {
+      js << ",\n      \"bist_plan\": {\n"
+         << "        \"objective\": \"knee_under_budget\",\n"
+         << "        \"test_time_budget\": " << budget << ",\n"
+         << "        \"chosen_length\": " << plan.lfsr_patterns << ",\n"
+         << "        \"topoff_patterns\": " << plan.topoff_patterns << ",\n"
+         << "        \"test_time\": " << plan.test_time << ",\n"
+         << "        \"rom_bits\": " << plan.rom_bits << ",\n"
+         << "        \"state_bits\": " << plan.area.state_bits << ",\n"
+         << "        \"area_bits\": " << plan.area.area_bits() << ",\n"
+         << "        \"knee_distance\": " << json_num(plan.knee_distance)
+         << ",\n"
+         << "        \"final_coverage\": " << json_num(plan.final_coverage)
+         << ",\n"
+         << "        \"area_estimate_ge\": {\"lfsr\": "
+         << json_num(plan.area.lfsr)
+         << ", \"rom\": " << json_num(plan.area.rom)
+         << ", \"controller\": " << json_num(plan.area.controller)
+         << ", \"mux\": " << json_num(plan.area.mux)
+         << ", \"total\": " << json_num(plan.area.total()) << "},\n"
+         << "        \"area_actual_ge\": {\"lfsr\": "
+         << json_num(syn.actual.lfsr)
+         << ", \"rom\": " << json_num(syn.actual.rom)
+         << ", \"controller\": " << json_num(syn.actual.controller)
+         << ", \"mux\": " << json_num(syn.actual.mux)
+         << ", \"total\": " << json_num(syn.actual.total()) << "},\n"
+         << "        \"wrapper_gates\": " << syn.wrapper.gate_count() << ",\n"
+         << "        \"bist_gates\": " << syn.bist_gates << ",\n"
+         << "        \"counter_bits\": " << syn.counter_bits << ",\n"
+         << "        \"wrapper_file\": " << json_str(wrapper_file) << ",\n"
+         << "        \"candidates\": [\n";
+      for (std::size_t c = 0; c < plan.candidates.size(); ++c) {
+        const bist::SchedulePoint& sp = plan.candidates[c];
+        js << "          {\"length\": " << sp.length
+           << ", \"topoff_patterns\": " << sp.topoff_patterns
+           << ", \"test_time\": " << sp.test_time
+           << ", \"rom_bits\": " << sp.rom_bits
+           << ", \"area_bits\": " << sp.area_bits
+           << ", \"knee_distance\": " << json_num(sp.knee_distance)
+           << ", \"within_budget\": " << (sp.within_budget ? "true" : "false")
+           << "}" << (c + 1 < plan.candidates.size() ? "," : "") << "\n";
+      }
+      js << "        ],\n"
+         << "        \"selfsim_cycles\": " << wv.cycles << ",\n"
+         << "        \"selfsim_coverage\": " << json_num(wv.achieved_coverage)
+         << ",\n"
+         << "        \"selfsim_coverage_weighted\": "
+         << json_num(wv.achieved_coverage_weighted) << ",\n"
+         << "        \"lfsr_phase_identical\": "
+         << (wv.lfsr_phase_identical ? "true" : "false") << ",\n"
+         << "        \"topoff_identical\": "
+         << (wv.topoff_identical ? "true" : "false") << ",\n"
+         << "        \"coverage_identical\": "
+         << (wv.coverage_identical ? "true" : "false") << ",\n"
+         << "        \"wrapper_matches_plan\": "
+         << (wv.ok() ? "true" : "false") << ",\n"
+         << "        \"schedule_seconds\": " << json_num(sched_secs) << ",\n"
+         << "        \"synth_seconds\": " << json_num(synth_secs) << ",\n"
+         << "        \"selfsim_seconds\": " << json_num(selfsim_secs)
+         << "\n      }";
+    }
     js << "\n    }";
 
     if (plot) {
@@ -511,6 +670,38 @@ int run_bench(int argc, char** argv) {
       po.y_label = "%";
       po.y_from_zero = true;
       std::cout << bist::ascii_plot({s}, po);
+
+      // The scheduler's trade-off curves over the (deduplicated, sorted)
+      // candidate set, so the knee the plan picked is visible in CI logs.
+      if (do_bist && plan.candidates.size() >= 2) {
+        bist::Series cov, rom, abits;
+        cov.name = "final coverage %";
+        rom.name = "topoff ROM patterns";
+        abits.name = "area bits (ROM + state)";
+        rom.marker = 'o';
+        abits.marker = '+';
+        for (const bist::SchedulePoint& sp : plan.candidates) {
+          cov.x.push_back(double(sp.length));
+          cov.y.push_back(100 * sp.final_coverage);
+          rom.x.push_back(double(sp.length));
+          rom.y.push_back(double(sp.topoff_patterns));
+          abits.x.push_back(double(sp.length));
+          abits.y.push_back(double(sp.area_bits));
+        }
+        bist::PlotOptions pc;
+        pc.title = name + ": final coverage vs. LFSR length (knee at L=" +
+                   std::to_string(plan.lfsr_patterns) + ")";
+        pc.x_label = "LFSR length";
+        pc.y_label = "%";
+        std::cout << bist::ascii_plot({cov}, pc);
+        bist::PlotOptions pr;
+        pr.title = name + ": ROM cost vs. LFSR length (knee at L=" +
+                   std::to_string(plan.lfsr_patterns) + ")";
+        pr.x_label = "LFSR length";
+        pr.y_label = "cost";
+        pr.y_from_zero = true;
+        std::cout << bist::ascii_plot({rom, abits}, pr);
+      }
     }
   }
 
@@ -527,6 +718,11 @@ int run_bench(int argc, char** argv) {
   std::cout << "wrote " << out_path << "\n";
   if (!all_verified) {
     std::cerr << "error: some top-off pattern failed fault-sim verification\n";
+    return 1;
+  }
+  if (!wrappers_ok) {
+    std::cerr << "error: a synthesized BIST wrapper failed to reproduce its "
+                 "scheduled point\n";
     return 1;
   }
   return 0;

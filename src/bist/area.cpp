@@ -1,0 +1,100 @@
+#include "bist/area.hpp"
+
+#include <bit>
+
+namespace bist {
+
+double gate_area(const AreaModel& m, GateType t, std::size_t fanin_count) {
+  const double n2 = fanin_count > 1 ? double(fanin_count - 1) : 1.0;
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1: return 0.0;
+    case GateType::Buf: return m.buf1;
+    case GateType::Not: return m.not1;
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: return n2 * m.and2;
+    case GateType::Xor:
+    case GateType::Xnor: return n2 * m.xor2;
+  }
+  return 0.0;
+}
+
+double netlist_area(const AreaModel& m, const Netlist& n) {
+  double a = 0.0;
+  for (GateId g = 0; g < n.gate_count(); ++g)
+    a += gate_area(m, n.gate(g).type, n.gate(g).fanins.size());
+  return a;
+}
+
+std::size_t counter_width(std::size_t total_cycles) {
+  if (total_cycles <= 2) return 1;
+  return static_cast<std::size_t>(std::bit_width(total_cycles - 1));
+}
+
+BistArea estimate_bist_area(const AreaModel& m, unsigned lfsr_degree,
+                            std::uint64_t lfsr_taps, std::size_t cut_inputs,
+                            std::span<const BitVec> topoff,
+                            std::size_t lfsr_patterns) {
+  BistArea a;
+  const std::size_t w = cut_inputs;
+  const std::size_t t = topoff.size();
+  const std::size_t total = lfsr_patterns + t;
+  const std::size_t c = counter_width(total);
+
+  a.rom_bits = t * w;
+  a.state_bits = lfsr_degree + c;
+
+  // LFSR: degree FFs, one feedback XOR network per pattern bit (the
+  // test-per-clock unrolling shifts `w` times per applied pattern), and the
+  // degree next-state output buffers of the one-frame wrapper.
+  const unsigned taps = static_cast<unsigned>(std::popcount(lfsr_taps));
+  const double fb = taps >= 2 ? double(taps - 1) * m.xor2 : m.buf1;
+  a.lfsr = double(lfsr_degree) * m.flipflop + double(w) * fb +
+           double(lfsr_degree) * m.buf1;
+
+  // Controller: counter FFs + ripple increment (1 NOT, c-1 XOR2, c-2 AND2
+  // carries) + c next-state buffers + one c-literal decode AND per ROM row
+  // with shared inverters for the bits that appear complemented in at least
+  // one row address.
+  a.controller = double(c) * m.flipflop + m.not1 +
+                 double(c > 0 ? c - 1 : 0) * m.xor2 +
+                 double(c > 2 ? c - 2 : 0) * m.and2 + double(c) * m.buf1;
+  if (t > 0) {
+    const double decode = c >= 2 ? double(c - 1) * m.and2 : m.buf1;
+    std::uint64_t inv_mask = 0;
+    const std::uint64_t cmask =
+        c >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << c) - 1);
+    for (std::size_t j = 0; j < t; ++j)
+      inv_mask |= ~std::uint64_t(lfsr_patterns + j) & cmask;
+    a.controller += double(t) * decode +
+                    double(std::popcount(inv_mask)) * m.not1;
+  }
+
+  // ROM OR plane: per CUT input, an OR over the rows whose stored bit is
+  // set — priced exactly from the pattern set's per-column popcounts.
+  std::vector<std::size_t> col_rows(w, 0);
+  for (std::size_t i = 0; i < w; ++i)
+    for (const BitVec& p : topoff) col_rows[i] += p.get(i);
+  for (std::size_t i = 0; i < w; ++i)
+    if (col_rows[i] >= 2) a.rom += double(col_rows[i] - 1) * m.and2;
+
+  // Muxing: per CUT input an AND leg gating the LFSR bit with the phase
+  // select, merged with the ROM column by an OR when the column has any set
+  // bit (an all-zero column needs only the gated leg); phase select = OR of
+  // the row decodes plus the shared inverter.
+  if (t > 0) {
+    a.mux = m.not1;
+    for (std::size_t i = 0; i < w; ++i)
+      a.mux += col_rows[i] ? m.and2 + m.and2 : m.and2;
+    const double phase_or = t >= 2 ? double(t - 1) * m.and2 : m.buf1;
+    a.mux += phase_or;  // bist_det = OR of the row selects
+  } else {
+    a.mux = double(w) * m.buf1;
+  }
+  return a;
+}
+
+}  // namespace bist

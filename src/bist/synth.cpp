@@ -1,0 +1,179 @@
+#include "bist/synth.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace bist {
+namespace {
+
+std::string idx_name(const char* prefix, std::size_t i) {
+  return std::string(prefix) + std::to_string(i);
+}
+
+}  // namespace
+
+BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
+                                        const BistPlan& plan) {
+  if (!cut.frozen())
+    throw std::invalid_argument("synthesize_bist_wrapper: CUT not frozen");
+  const std::size_t w = cut.input_count();
+  if (w != plan.width)
+    throw std::invalid_argument(
+        "synthesize_bist_wrapper: plan width does not match the CUT");
+  const std::size_t T = plan.topoff.size();
+  const std::size_t total = plan.lfsr_patterns + T;
+  if (total == 0)
+    throw std::invalid_argument("synthesize_bist_wrapper: zero-cycle plan");
+  const unsigned D = plan.lfsr_degree;
+  const std::size_t C = counter_width(total);
+
+  BistSynthResult res;
+  res.counter_bits = C;
+  const AreaModel& m = plan.area_model;
+  NetlistBuilder b(cut.name() + "_bist");
+
+  // Every emitted BIST gate goes through one of these, so res.actual is the
+  // exact price of the generated test logic under the plan's model.
+  auto emit = [&](double* bucket, std::string name, GateType t,
+                  std::vector<std::string> fanins) {
+    *bucket += gate_area(m, t, fanins.size());
+    ++res.bist_gates;
+    b.define(std::move(name), t, std::move(fanins));
+  };
+
+  // --- state inputs --------------------------------------------------------
+  for (unsigned i = 0; i < D; ++i) b.input(idx_name("bist_lfsr_s", i));
+  for (std::size_t i = 0; i < C; ++i) b.input(idx_name("bist_cnt_s", i));
+  res.actual.state_bits = D + C;
+  res.actual.lfsr += double(D) * m.flipflop;
+  res.actual.controller += double(C) * m.flipflop;
+
+  // --- LFSR unrolling: w shifts, one feedback XOR each ---------------------
+  // stage[j] holds the net currently occupying LFSR bit j; a shift renames
+  // stage[j-1] -> stage[j] (wiring, no gate) and feeds the XOR of the tapped
+  // stages into bit 0, exactly Lfsr::step().  Pattern bit t is the pre-shift
+  // output stage (bit D-1) of step t.
+  std::vector<std::string> stage(D);
+  for (unsigned j = 0; j < D; ++j) stage[j] = idx_name("bist_lfsr_s", j);
+  std::vector<std::string> pattern(w);
+  for (std::size_t t = 0; t < w; ++t) {
+    pattern[t] = stage[D - 1];
+    std::vector<std::string> tapped;
+    for (unsigned j = 0; j < D; ++j)
+      if ((plan.lfsr_taps >> j) & 1) tapped.push_back(stage[j]);
+    const std::string fb = idx_name("bist_lfsr_fb", t);
+    if (tapped.size() >= 2) emit(&res.actual.lfsr, fb, GateType::Xor, tapped);
+    else emit(&res.actual.lfsr, fb, GateType::Buf, tapped);
+    for (unsigned j = D; j-- > 1;) stage[j] = stage[j - 1];
+    stage[0] = fb;
+  }
+  for (unsigned j = 0; j < D; ++j)
+    emit(&res.actual.lfsr, idx_name("bist_lfsr_n", j), GateType::Buf,
+         {stage[j]});
+
+  // --- cycle counter: ripple increment -------------------------------------
+  std::vector<std::string> cnt(C), cnt_next(C);
+  for (std::size_t i = 0; i < C; ++i) cnt[i] = idx_name("bist_cnt_s", i);
+  cnt_next[0] = "bist_cnt_x0";
+  emit(&res.actual.controller, cnt_next[0], GateType::Not, {cnt[0]});
+  std::string carry = cnt[0];  // carry into bit 1 (wiring, no gate)
+  for (std::size_t j = 1; j < C; ++j) {
+    cnt_next[j] = idx_name("bist_cnt_x", j);
+    emit(&res.actual.controller, cnt_next[j], GateType::Xor, {cnt[j], carry});
+    if (j + 1 < C) {
+      const std::string k = idx_name("bist_cnt_k", j);
+      emit(&res.actual.controller, k, GateType::And, {cnt[j], carry});
+      carry = k;
+    }
+  }
+  for (std::size_t i = 0; i < C; ++i)
+    emit(&res.actual.controller, idx_name("bist_cnt_n", i), GateType::Buf,
+         {cnt_next[i]});
+
+  // --- ROM rows + phase controller -----------------------------------------
+  // Row j selects at counter value lfsr_patterns + j (equality decode over
+  // the counter literals; inverters are created once per complemented bit).
+  std::vector<std::string> rowsel(T);
+  std::vector<std::string> cnt_inv(C);
+  auto inv_of = [&](std::size_t i) {
+    if (cnt_inv[i].empty()) {
+      cnt_inv[i] = idx_name("bist_cnt_inv", i);
+      emit(&res.actual.controller, cnt_inv[i], GateType::Not, {cnt[i]});
+    }
+    return cnt_inv[i];
+  };
+  for (std::size_t j = 0; j < T; ++j) {
+    const std::size_t addr = plan.lfsr_patterns + j;
+    std::vector<std::string> lits;
+    for (std::size_t i = 0; i < C; ++i)
+      lits.push_back((addr >> i) & 1 ? cnt[i] : inv_of(i));
+    rowsel[j] = idx_name("bist_row", j);
+    if (lits.size() >= 2)
+      emit(&res.actual.controller, rowsel[j], GateType::And, std::move(lits));
+    else
+      emit(&res.actual.controller, rowsel[j], GateType::Buf, std::move(lits));
+  }
+
+  std::string phase_inv;  // high during the pseudo-random phase
+  if (T > 0) {
+    if (T >= 2) emit(&res.actual.mux, "bist_det", GateType::Or, rowsel);
+    else emit(&res.actual.mux, "bist_det", GateType::Buf, {rowsel[0]});
+    phase_inv = "bist_pr";
+    emit(&res.actual.mux, phase_inv, GateType::Not, {"bist_det"});
+  }
+
+  // --- pattern muxing into the CUT copy ------------------------------------
+  // The mux output takes the CUT input's (prefixed) net name, so the copied
+  // CUT gates below reference it without any remapping table.
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::string cut_in =
+        "cut_" + cut.gate(cut.inputs()[i]).name;
+    if (T == 0) {
+      emit(&res.actual.mux, cut_in, GateType::Buf, {pattern[i]});
+      continue;
+    }
+    std::vector<std::string> rom_rows;
+    for (std::size_t j = 0; j < T; ++j)
+      if (plan.topoff[j].get(i)) rom_rows.push_back(rowsel[j]);
+    const std::string leg = idx_name("bist_sel", i);
+    if (rom_rows.empty()) {
+      // No stored pattern drives this input high; the gated LFSR leg IS the
+      // CUT input (it is 0 throughout the ROM phase).
+      emit(&res.actual.mux, cut_in, GateType::And, {phase_inv, pattern[i]});
+      continue;
+    }
+    emit(&res.actual.mux, leg, GateType::And, {phase_inv, pattern[i]});
+    std::string rom_col;
+    if (rom_rows.size() >= 2) {
+      rom_col = idx_name("bist_rom", i);
+      emit(&res.actual.rom, rom_col, GateType::Or, std::move(rom_rows));
+    } else {
+      rom_col = rom_rows[0];
+    }
+    emit(&res.actual.mux, cut_in, GateType::Or, {leg, rom_col});
+  }
+
+  // --- CUT copy -------------------------------------------------------------
+  for (GateId g = 0; g < cut.gate_count(); ++g) {
+    const Gate& gg = cut.gate(g);
+    if (gg.type == GateType::Input) continue;  // driven by the mux above
+    std::vector<std::string> fis;
+    fis.reserve(gg.fanins.size());
+    for (GateId f : gg.fanins) fis.push_back("cut_" + cut.gate(f).name);
+    b.define("cut_" + gg.name, gg.type, std::move(fis));
+  }
+
+  // --- primary outputs ------------------------------------------------------
+  for (GateId o : cut.outputs()) b.output("cut_" + cut.gate(o).name);
+  for (unsigned j = 0; j < D; ++j) b.output(idx_name("bist_lfsr_n", j));
+  for (std::size_t i = 0; i < C; ++i) b.output(idx_name("bist_cnt_n", i));
+
+  res.actual.rom_bits = T * w;
+  res.wrapper = b.build();
+  return res;
+}
+
+}  // namespace bist

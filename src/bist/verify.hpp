@@ -1,0 +1,71 @@
+#pragma once
+// Closed-loop verification of a synthesized BIST wrapper — the proof that
+// the generated hardware, simulated gate by gate, reproduces the scheduled
+// mixed-scheme point exactly.
+//
+// simulate_wrapper() drives the one-frame wrapper through the SimKernel
+// cycle by cycle: each cycle the current LFSR/counter state is applied on
+// the state primary inputs, the wrapper is evaluated, the pattern the mux
+// block applied to the embedded CUT is read off the (named) CUT input nets,
+// and the next-state primary outputs are fed back.  Nothing about the
+// expected stream is assumed — the state evolution comes entirely out of the
+// synthesized gates.
+//
+// verify_wrapper() then checks the three-way contract against the scheduled
+// point:
+//   - the first lfsr_patterns applied patterns are bit-identical to the
+//     Lfsr class's stream for the plan's (degree, taps, seed);
+//   - the remaining applied patterns equal the plan's stored top-off set in
+//     application order (hence set-identical);
+//   - fault-simulating the CUT over the applied patterns yields exactly the
+//     point's final coverage, under both accounting conventions, down to
+//     the double (same integer numerators over the same denominators).
+
+#include <cstdint>
+#include <vector>
+
+#include "bist/schedule.hpp"
+#include "fault/fault_sim.hpp"
+#include "netlist/netlist.hpp"
+#include "tpg/mixed.hpp"
+#include "util/bitvec.hpp"
+
+namespace bist {
+
+struct WrapperSimResult {
+  /// One applied CUT input pattern per cycle (lfsr phase then ROM phase).
+  std::vector<BitVec> applied;
+  std::uint64_t final_lfsr_state = 0;
+  std::uint64_t final_counter = 0;
+};
+
+/// Run the wrapper for plan.test_time cycles.  `cut` provides the input
+/// net names (the wrapper nets are resolved as "cut_<name>",
+/// "bist_lfsr_s<i>", ... per the synth conventions); the wrapper may be the
+/// synthesized netlist or a .bench re-parse of it.  Throws
+/// std::runtime_error when an expected net is missing.
+WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
+                                  const BistPlan& plan);
+
+struct WrapperVerification {
+  bool lfsr_phase_identical = false;
+  bool topoff_identical = false;
+  bool coverage_identical = false;
+  std::size_t cycles = 0;
+  double achieved_coverage = 0;
+  double achieved_coverage_weighted = 0;
+  bool ok() const {
+    return lfsr_phase_identical && topoff_identical && coverage_identical;
+  }
+};
+
+/// Simulate the wrapper and check it against the scheduled point (the
+/// MixedSchemeResult the plan was chosen from, i.e.
+/// sweep.points[plan.point_index]).  `fopt` only selects the fault-sim
+/// engine configuration; detection results are engine-invariant.
+WrapperVerification verify_wrapper(const Netlist& wrapper, const Netlist& cut,
+                                   const BistPlan& plan,
+                                   const MixedSchemeResult& point,
+                                   const FaultSimOptions& fopt = {});
+
+}  // namespace bist

@@ -192,10 +192,11 @@ std::size_t FaultSimResult::detected_at(std::size_t length) const {
 
 FaultSimResult FaultSimulator::prefix_result(const FaultSimResult& full,
                                              std::size_t length) const {
-  if (length > full.patterns)
-    throw std::invalid_argument("prefix_result: length exceeds the run");
   if (full.first_detected.size() != faults_.size())
     throw std::invalid_argument("prefix_result: fault list mismatch");
+  // Lengths beyond the run clamp to the run (the full result *is* the prefix
+  // at any longer length); length 0 degenerates to the empty-prefix result.
+  length = std::min(length, full.patterns);
   FaultSimResult r;
   r.total_faults = full.total_faults;
   r.sim_faults = full.sim_faults;
@@ -496,7 +497,11 @@ FaultSimResult FaultSimulator::run_ffr(std::span<const PatternBlock> blocks,
       continue;
     }
 
-    good.simulate(grp);
+    // Good-machine pass, wide levels split across the same pool the stem
+    // stage uses (strictly before the stem parallel_for — the pool is not
+    // reentrant).  Values are bit-identical to the serial pass, so every
+    // downstream detection result is unchanged.
+    good.simulate(grp, &pool);
     const Word lanes = WideSimT<W>::group_lane_mask(grp);
     const Word* gv = good.values().data();
 

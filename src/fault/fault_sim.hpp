@@ -100,9 +100,12 @@ struct FaultSimResult {
   /// Sim-fault indices NOT detected within the first `length` patterns
   /// (first_detected >= length or undetected), ascending — exactly the
   /// LFSR-resistant tail the mixed scheme's top-off phase would see after a
-  /// pseudo-random phase of `length` patterns.
+  /// pseudo-random phase of `length` patterns.  Well-defined at every
+  /// length: 0 yields every simulated fault, anything >= patterns yields the
+  /// run's final undetected set.
   std::vector<std::uint32_t> tail_at(std::size_t length) const;
-  /// Number of simulated faults detected within the first `length` patterns.
+  /// Number of simulated faults detected within the first `length` patterns
+  /// (0 at length 0; the run's detected count at any length >= patterns).
   std::size_t detected_at(std::size_t length) const;
 };
 
@@ -137,8 +140,9 @@ class FaultSimulator {
   /// only those patterns would have produced, derived without re-simulating.
   /// Exception: faulty_gate_evals is carried over unchanged from `full`
   /// (the work measure of the pass actually executed, not of a hypothetical
-  /// shorter one).  Requires length <= full.patterns and a `full` whose
-  /// fault list matches this simulator's.
+  /// shorter one).  Requires a `full` whose fault list matches this
+  /// simulator's; `length` is clamped to full.patterns (so length 0 gives
+  /// the empty-prefix result and any longer length gives the full run back).
   FaultSimResult prefix_result(const FaultSimResult& full,
                                std::size_t length) const;
 

@@ -1,20 +1,14 @@
 #include "netlist/bench_io.hpp"
 
 #include <istream>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "netlist/builder.hpp"
 #include "util/strings.hpp"
 
 namespace bist {
 namespace {
-
-struct PendingGate {
-  GateType type;
-  std::vector<std::string> fanin_names;
-  int line;
-};
 
 [[noreturn]] void fail(int line, const std::string& msg) {
   throw std::runtime_error(".bench line " + std::to_string(line) + ": " + msg);
@@ -23,11 +17,13 @@ struct PendingGate {
 }  // namespace
 
 Netlist read_bench(std::string_view text, std::string circuit_name) {
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
-  // Definition order preserved for deterministic ids.
-  std::vector<std::pair<std::string, PendingGate>> defs;
-  std::map<std::string, std::size_t> def_index;
+  // The parser is a thin line-splitter in front of NetlistBuilder: INPUT/
+  // OUTPUT/assignment lines go straight into the builder (in file order,
+  // forward references and all) and build() does the topological emission,
+  // cycle detection and freeze.  Each definition carries its line number as
+  // the builder `where` tag, so name-resolution errors still point at the
+  // offending source line.
+  NetlistBuilder b(std::move(circuit_name));
 
   int line_no = 0;
   std::size_t pos = 0;
@@ -43,102 +39,55 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
     }
 
     const std::size_t eq = line.find('=');
-    if (eq == std::string_view::npos) {
-      // INPUT(x) or OUTPUT(x)
-      const std::size_t lp = line.find('('), rp = line.rfind(')');
-      if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp)
-        fail(line_no, "expected INPUT(...), OUTPUT(...) or assignment");
-      const std::string_view kw = trim(line.substr(0, lp));
-      const std::string name{trim(line.substr(lp + 1, rp - lp - 1))};
-      if (name.empty()) fail(line_no, "empty signal name");
-      if (iequals(kw, "INPUT")) input_names.push_back(name);
-      else if (iequals(kw, "OUTPUT")) output_names.push_back(name);
-      else fail(line_no, "unknown directive: " + std::string(kw));
-    } else {
-      const std::string lhs{trim(line.substr(0, eq))};
-      std::string_view rhs = trim(line.substr(eq + 1));
-      const std::size_t lp = rhs.find('(');
-      const std::size_t rp = rhs.rfind(')');
-      if (lhs.empty()) fail(line_no, "empty lhs");
-      if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp)
-        fail(line_no, "expected GATE(a, b, ...)");
-      GateType t;
-      try {
-        t = gate_type_from_name(trim(rhs.substr(0, lp)));
-      } catch (const std::exception& e) {
-        fail(line_no, e.what());
+    try {
+      if (eq == std::string_view::npos) {
+        // INPUT(x) or OUTPUT(x)
+        const std::size_t lp = line.find('('), rp = line.rfind(')');
+        if (lp == std::string_view::npos || rp == std::string_view::npos ||
+            rp < lp)
+          fail(line_no, "expected INPUT(...), OUTPUT(...) or assignment");
+        const std::string_view kw = trim(line.substr(0, lp));
+        const std::string name{trim(line.substr(lp + 1, rp - lp - 1))};
+        if (name.empty()) fail(line_no, "empty signal name");
+        if (iequals(kw, "INPUT")) b.input(name);
+        else if (iequals(kw, "OUTPUT")) b.output(name);
+        else fail(line_no, "unknown directive: " + std::string(kw));
+      } else {
+        const std::string lhs{trim(line.substr(0, eq))};
+        std::string_view rhs = trim(line.substr(eq + 1));
+        const std::size_t lp = rhs.find('(');
+        const std::size_t rp = rhs.rfind(')');
+        if (lhs.empty()) fail(line_no, "empty lhs");
+        if (lp == std::string_view::npos || rp == std::string_view::npos ||
+            rp < lp)
+          fail(line_no, "expected GATE(a, b, ...)");
+        GateType t = gate_type_from_name(trim(rhs.substr(0, lp)));
+        std::vector<std::string> fanins;
+        for (auto tok : split(rhs.substr(lp + 1, rp - lp - 1), ",")) {
+          const std::string fn{trim(tok)};
+          if (fn.empty()) fail(line_no, "empty fanin name");
+          fanins.push_back(fn);
+        }
+        // .bench allows 1-input AND/OR etc.; normalize to Buf.
+        if (fanins.size() == 1 && (t == GateType::And || t == GateType::Or))
+          t = GateType::Buf;
+        if (fanins.size() == 1 && (t == GateType::Nand || t == GateType::Nor))
+          t = GateType::Not;
+        b.define(lhs, t, std::move(fanins),
+                 ".bench line " + std::to_string(line_no));
       }
-      PendingGate pg;
-      pg.type = t;
-      pg.line = line_no;
-      for (auto tok : split(rhs.substr(lp + 1, rp - lp - 1), ",")) {
-        const std::string fn{trim(tok)};
-        if (fn.empty()) fail(line_no, "empty fanin name");
-        pg.fanin_names.push_back(fn);
-      }
-      if (def_index.count(lhs)) fail(line_no, "redefinition of " + lhs);
-      def_index[lhs] = defs.size();
-      defs.emplace_back(lhs, std::move(pg));
+    } catch (const std::runtime_error& e) {
+      // Builder errors about this line (redefinition, arity) and the local
+      // fail() calls both surface here; prefix the line number when the
+      // message does not already carry one.
+      const std::string msg = e.what();
+      if (msg.rfind(".bench line", 0) == 0) throw;
+      fail(line_no, msg);
     }
     if (pos > text.size()) break;
   }
 
-  Netlist n(std::move(circuit_name));
-  std::map<std::string, GateId> ids;
-  for (const auto& in : input_names) {
-    if (ids.count(in)) throw std::runtime_error("duplicate INPUT " + in);
-    ids[in] = n.add_input(in);
-  }
-
-  // Topological emission of definitions (the file may be unordered).
-  std::vector<int> state(defs.size(), 0);  // 0 unvisited, 1 on stack, 2 done
-  // Iterative DFS to avoid recursion depth issues on big circuits.
-  std::vector<std::size_t> stack;
-  auto emit = [&](std::size_t root) {
-    stack.push_back(root);
-    while (!stack.empty()) {
-      const std::size_t d = stack.back();
-      auto& [name, pg] = defs[d];
-      if (state[d] == 2) { stack.pop_back(); continue; }
-      bool ready = true;
-      for (const auto& fn : pg.fanin_names) {
-        if (ids.count(fn)) continue;
-        auto it = def_index.find(fn);
-        if (it == def_index.end())
-          fail(pg.line, "undefined signal: " + fn);
-        if (state[it->second] == 1)
-          fail(pg.line, "combinational cycle through " + fn);
-        if (state[it->second] == 0) {
-          state[it->second] = 1;
-          stack.push_back(it->second);
-          ready = false;
-        }
-      }
-      if (!ready) continue;
-      std::vector<GateId> fis;
-      fis.reserve(pg.fanin_names.size());
-      for (const auto& fn : pg.fanin_names) fis.push_back(ids.at(fn));
-      // .bench allows 1-input AND/OR etc.; normalize to Buf.
-      GateType t = pg.type;
-      if (fis.size() == 1 &&
-          (t == GateType::And || t == GateType::Or)) t = GateType::Buf;
-      if (fis.size() == 1 && (t == GateType::Nand || t == GateType::Nor))
-        t = GateType::Not;
-      ids[name] = n.add_gate(t, fis, name);
-      state[d] = 2;
-      stack.pop_back();
-    }
-  };
-  for (std::size_t d = 0; d < defs.size(); ++d)
-    if (state[d] == 0) { state[d] = 1; emit(d); }
-
-  for (const auto& on : output_names) {
-    auto it = ids.find(on);
-    if (it == ids.end()) throw std::runtime_error("OUTPUT of undefined signal " + on);
-    n.add_output(it->second);
-  }
-  n.freeze();
-  return n;
+  return b.build();
 }
 
 Netlist read_bench_stream(std::istream& in, std::string circuit_name) {

@@ -1,0 +1,129 @@
+#include "netlist/builder.hpp"
+
+#include <stdexcept>
+
+namespace bist {
+namespace {
+
+[[noreturn]] void fail(const std::string& where, const std::string& msg) {
+  throw std::runtime_error(where.empty() ? msg : where + ": " + msg);
+}
+
+}  // namespace
+
+void NetlistBuilder::claim_name(const std::string& name,
+                                const std::string& where) {
+  if (name.empty()) fail(where, "empty signal name");
+  if (by_name_.count(name)) fail(where, "redefinition of " + name);
+}
+
+void NetlistBuilder::input(std::string name) {
+  claim_name(name, {});
+  by_name_.emplace(name, kInput);
+  inputs_.push_back(std::move(name));
+}
+
+void NetlistBuilder::output(std::string name) {
+  outputs_.push_back(std::move(name));
+}
+
+void NetlistBuilder::define(std::string name, GateType t,
+                            std::vector<std::string> fanins,
+                            std::string where) {
+  claim_name(name, where);
+  if (t == GateType::Input)
+    fail(where, "use input() to declare primary inputs");
+  const auto arity = gate_type_arity(t);
+  if (fanins.size() < arity.min)
+    fail(where, "too few fanins for " + std::string(gate_type_name(t)) +
+                    " gate " + name);
+  if ((t == GateType::Const0 || t == GateType::Const1) && !fanins.empty())
+    fail(where, "constant " + name + " cannot have fanins");
+  if (arity.max != 0 && fanins.size() > arity.max)
+    fail(where, "too many fanins for " + std::string(gate_type_name(t)) +
+                    " gate " + name);
+  by_name_.emplace(name, defs_.size());
+  defs_.push_back(Def{std::move(name), t, std::move(fanins), std::move(where)});
+}
+
+void NetlistBuilder::constant(std::string name, bool value) {
+  define(std::move(name), value ? GateType::Const1 : GateType::Const0, {});
+}
+
+std::string NetlistBuilder::fresh(std::string_view prefix) {
+  for (;;) {
+    std::string candidate =
+        std::string(prefix) + std::to_string(fresh_counter_++);
+    if (!by_name_.count(candidate)) return candidate;
+  }
+}
+
+bool NetlistBuilder::defined(std::string_view name) const {
+  return by_name_.count(std::string(name)) != 0;
+}
+
+Netlist NetlistBuilder::build() {
+  Netlist n(name_);
+  std::unordered_map<std::string, GateId> ids;
+  ids.reserve(inputs_.size() + defs_.size());
+  for (const std::string& in : inputs_) ids[in] = n.add_input(in);
+
+  // Topological emission (definitions may be in any order).  Iterative DFS
+  // to avoid recursion depth issues on deep circuits.  A definition turns
+  // gray only when it reaches the top of the stack and expands its fanins —
+  // NOT when pushed — so a gray fanin is always a genuine DFS ancestor
+  // (everything pushed above a gray node is in its transitive fanin cone)
+  // and sibling forward references, e.g. top = AND(o1, o2) with
+  // o2 = NOT(o1), are never misreported as cycles.  White nodes may be
+  // pushed more than once; later duplicates pop as already-done.
+  std::vector<int> state(defs_.size(), 0);  // 0 white, 1 gray, 2 done
+  std::vector<std::size_t> stack;
+  auto emit = [&](std::size_t root) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const std::size_t d = stack.back();
+      const Def& def = defs_[d];
+      if (state[d] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      state[d] = 1;
+      bool ready = true;
+      for (const std::string& fn : def.fanins) {
+        if (ids.count(fn)) continue;
+        auto it = by_name_.find(fn);
+        if (it == by_name_.end() || it->second == kInput)
+          fail(def.where, "undefined signal: " + fn);
+        if (state[it->second] == 1)
+          fail(def.where, "combinational cycle through " + fn);
+        stack.push_back(it->second);
+        ready = false;
+      }
+      if (!ready) continue;
+      std::vector<GateId> fis;
+      fis.reserve(def.fanins.size());
+      for (const std::string& fn : def.fanins) fis.push_back(ids.at(fn));
+      ids[def.name] = n.add_gate(def.type, fis, def.name);
+      state[d] = 2;
+      stack.pop_back();
+    }
+  };
+  for (std::size_t d = 0; d < defs_.size(); ++d)
+    if (state[d] == 0) emit(d);
+
+  for (const std::string& on : outputs_) {
+    auto it = ids.find(on);
+    if (it == ids.end()) fail({}, "OUTPUT of undefined signal " + on);
+    n.add_output(it->second);
+  }
+  n.freeze();
+
+  inputs_.clear();
+  outputs_.clear();
+  defs_.clear();
+  by_name_.clear();
+  fresh_counter_ = 0;
+  return n;
+}
+
+}  // namespace bist

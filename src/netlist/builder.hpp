@@ -1,0 +1,99 @@
+#pragma once
+// Programmatic netlist construction with name-based wiring.
+//
+// Netlist::add_gate demands topological discipline: every fanin must already
+// exist as a GateId.  That is the right invariant for the simulation
+// substrate but the wrong interface for anything that *generates* hardware —
+// the .bench reader meets signals before their definitions, and a synthesis
+// pass (the BIST wrapper generator) naturally wires blocks together by net
+// name, in whatever order the blocks are emitted.
+//
+// NetlistBuilder collects INPUT/OUTPUT declarations and named gate
+// definitions in any order, with forward references, then build() resolves
+// the names, orders the definitions topologically (iterative DFS, cycle
+// detection) and emits them through the existing Netlist pipeline — so every
+// invariant freeze() enforces (unique names, arity, acyclicity, fanout CSR,
+// levels) holds for generated netlists exactly as for parsed ones.  The
+// .bench reader is itself a client: parse lines into the builder, build().
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace bist {
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string circuit_name = "netlist")
+      : name_(std::move(circuit_name)) {}
+
+  const std::string& circuit_name() const { return name_; }
+
+  /// Declare a primary input.  Throws on redefinition of the signal name.
+  void input(std::string name);
+
+  /// Mark a signal as a primary output (it may be defined before or after
+  /// this call; resolution happens in build()).  Repeats are kept — .bench
+  /// allows listing the same OUTPUT twice and the Netlist preserves it.
+  void output(std::string name);
+
+  /// Define signal `name` as t(fanins...).  Fanins are signal names and may
+  /// be forward references.  `where` is an optional provenance tag ("line
+  /// 12") prefixed to error messages about this definition.  Throws on
+  /// redefinition and on arity violations that are checkable immediately.
+  void define(std::string name, GateType t, std::vector<std::string> fanins,
+              std::string where = {});
+
+  /// Convenience forms used by generators.
+  void constant(std::string name, bool value);
+  void buffer(std::string name, std::string fanin) {
+    define(std::move(name), GateType::Buf, {std::move(fanin)});
+  }
+
+  /// A name of the form "<prefix><n>" that no input() or define() call has
+  /// used yet (and that repeated fresh() calls never hand out twice).
+  std::string fresh(std::string_view prefix);
+
+  /// Has `name` been declared as an input or defined as a gate so far?
+  bool defined(std::string_view name) const;
+
+  std::size_t input_count() const { return inputs_.size(); }
+  std::size_t output_count() const { return outputs_.size(); }
+  std::size_t definition_count() const { return defs_.size(); }
+
+  /// Resolve names, order definitions topologically, emit through
+  /// Netlist::add_input/add_gate/add_output and freeze().  Throws
+  /// std::runtime_error (with the definition's `where` tag when present) on
+  /// undefined signals, combinational cycles, or missing inputs/outputs.
+  /// On success the builder is left empty, ready for a new circuit.  A
+  /// throwing build() mutates no builder state: the collected declarations
+  /// are retained, so the caller may repair the netlist (e.g. define the
+  /// missing signal) and call build() again.
+  Netlist build();
+
+ private:
+  struct Def {
+    std::string name;
+    GateType type;
+    std::vector<std::string> fanins;
+    std::string where;
+  };
+
+  void claim_name(const std::string& name, const std::string& where);
+
+  std::string name_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<Def> defs_;
+  /// Signal name -> index into defs_, or kInput for primary inputs.
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::uint64_t fresh_counter_ = 0;
+
+  static constexpr std::size_t kInput = ~std::size_t{0};
+};
+
+}  // namespace bist

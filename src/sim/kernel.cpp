@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace bist {
 
 SimKernel::SimKernel(const Netlist& n) : n_(&n) {
@@ -79,6 +81,12 @@ SimKernel::SimKernel(const Netlist& n) : n_(&n) {
       schedule_.push_back(k);
     }
   }
+  // schedule_ ascends in kernel index, hence in level; bucket it per level so
+  // the parallel evaluation path can treat levels as barriers.
+  schedule_level_offset_.assign(max_level_ + 2, 0);
+  for (KIndex g : schedule_) ++schedule_level_offset_[levels_[g] + 1];
+  for (std::size_t l = 1; l < schedule_level_offset_.size(); ++l)
+    schedule_level_offset_[l] += schedule_level_offset_[l - 1];
 
   // FFR decomposition.  A gate's unique fanout has a strictly higher level,
   // hence a larger kernel index, so one reverse sweep resolves every stem
@@ -126,25 +134,34 @@ typename WideSimT<W>::Word WideSimT<W>::group_lane_mask(
   }
 }
 
+namespace {
+
 template <unsigned W>
-void WideSimT<W>::simulate(std::span<const PatternBlock> blocks) {
+void apply_block_inputs(const SimKernel& k, std::span<const PatternBlock> blocks,
+                        SimWord<W>* values) {
   if (blocks.empty() || blocks.size() > W)
     throw std::invalid_argument("WideSimT: block group size must be 1..W");
   for (const PatternBlock& b : blocks)
-    if (b.width != k_->inputs().size())
+    if (b.width != k.inputs().size())
       throw std::invalid_argument("WideSimT: block width mismatch");
-
-  const std::span<const KIndex> pis = k_->inputs();
+  const std::span<const KIndex> pis = k.inputs();
   for (std::size_t i = 0; i < pis.size(); ++i) {
     if constexpr (W == 1) {
-      values_[pis[i]] = blocks[0].input_words[i];
+      values[pis[i]] = blocks[0].input_words[i];
     } else {
-      Word v = w_zero<Word>();
+      SimWord<W> v = w_zero<SimWord<W>>();
       for (unsigned j = 0; j < blocks.size(); ++j)
         v.w[j] = blocks[j].input_words[i];
-      values_[pis[i]] = v;
+      values[pis[i]] = v;
     }
   }
+}
+
+}  // namespace
+
+template <unsigned W>
+void WideSimT<W>::simulate(std::span<const PatternBlock> blocks) {
+  apply_block_inputs<W>(*k_, blocks, values_.data());
 
   const MicroOp* op = k_->op_data();
   const std::uint64_t* inv = k_->invert_data();
@@ -155,6 +172,53 @@ void WideSimT<W>::simulate(std::span<const PatternBlock> blocks) {
   for (KIndex g : k_->schedule()) {
     val[g] = eval_reduce(op[g], inv[g], off[g], off[g + 1],
                          [&](std::uint32_t i) { return val[fi[i]]; });
+  }
+}
+
+template <unsigned W>
+void WideSimT<W>::simulate(std::span<const PatternBlock> blocks,
+                           WorkerPool* pool) {
+  if (pool == nullptr || pool->workers() <= 1) {
+    simulate(blocks);
+    return;
+  }
+  apply_block_inputs<W>(*k_, blocks, values_.data());
+
+  const MicroOp* op = k_->op_data();
+  const std::uint64_t* inv = k_->invert_data();
+  const std::uint32_t* off = k_->fanin_offset_data();
+  const KIndex* fi = k_->fanin_data();
+  Word* val = values_.data();
+  const KIndex* sched = k_->schedule().data();
+  const std::span<const std::uint32_t> lvl_off = k_->schedule_level_offsets();
+
+  // A level below this many gates is cheaper to evaluate inline than to
+  // dispatch (a parallel_for costs a pool wake + join).
+  constexpr std::size_t kMinParallelLevel = 256;
+
+  for (std::size_t l = 0; l + 1 < lvl_off.size(); ++l) {
+    const std::uint32_t b = lvl_off[l], e = lvl_off[l + 1];
+    const std::size_t n = e - b;
+    if (n == 0) continue;
+    auto eval_one = [&](std::uint32_t s) {
+      const KIndex g = sched[s];
+      val[g] = eval_reduce(op[g], inv[g], off[g], off[g + 1],
+                           [&](std::uint32_t i) { return val[fi[i]]; });
+    };
+    if (n < kMinParallelLevel) {
+      for (std::uint32_t s = b; s < e; ++s) eval_one(s);
+    } else {
+      // Gates within a level never feed each other: each slot is written by
+      // exactly one worker and only lower levels are read, so the values are
+      // identical to the serial pass for every worker count and chunking.
+      const std::size_t grain =
+          std::max<std::size_t>(64, n / (std::size_t{4} * pool->workers()));
+      parallel_for(*pool, n, grain,
+                   [&](unsigned, std::size_t cb, std::size_t ce) {
+                     for (std::size_t s = cb; s < ce; ++s)
+                       eval_one(b + static_cast<std::uint32_t>(s));
+                   });
+    }
   }
 }
 

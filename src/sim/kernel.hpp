@@ -45,6 +45,8 @@
 
 namespace bist {
 
+class WorkerPool;
+
 /// Dense gate index in a SimKernel's level-ordered numbering.
 using KIndex = std::uint32_t;
 
@@ -96,6 +98,15 @@ class SimKernel {
   /// Fanin-less non-input gates (Const0/Const1), evaluated once at sim setup.
   std::span<const KIndex> constants() const { return constants_; }
 
+  /// CSR of schedule() by level: the gates of level l occupy
+  /// schedule()[off[l] .. off[l+1]) (off has max_level()+2 entries; level-0
+  /// ranges are empty — inputs and constants are not scheduled).  Gates
+  /// within one level are independent, which is what lets the wide simulator
+  /// partition a level across workers without changing any value.
+  std::span<const std::uint32_t> schedule_level_offsets() const {
+    return schedule_level_offset_;
+  }
+
   MicroOp op(KIndex k) const { return ops_[k]; }
   std::uint64_t invert_mask(KIndex k) const { return inv_[k]; }
 
@@ -142,6 +153,7 @@ class SimKernel {
   std::vector<KIndex> inputs_;
   std::vector<KIndex> outputs_;
   std::vector<KIndex> schedule_;
+  std::vector<std::uint32_t> schedule_level_offset_;  // size max_level+2
   std::vector<KIndex> constants_;
   std::vector<MicroOp> ops_;
   std::vector<std::uint64_t> inv_;
@@ -200,6 +212,14 @@ class WideSimT {
   void simulate(std::span<const PatternBlock> blocks);
   /// Simulate one block (sub-word 0 at W>1).
   void simulate(const PatternBlock& block) { simulate({&block, 1}); }
+
+  /// Same evaluation, with wide levels partitioned across `pool` (levels are
+  /// natural barriers: gates within one level never feed each other, so each
+  /// value slot is written once by exactly one worker and the result is
+  /// bit-identical to the serial pass for every worker count).  A null pool,
+  /// a 1-worker pool, and levels too small to amortize the dispatch all fall
+  /// back to the serial loop.
+  void simulate(std::span<const PatternBlock> blocks, WorkerPool* pool);
 
   /// Lane mask of a block group: sub-word j = blocks[j].lane_mask().
   static Word group_lane_mask(std::span<const PatternBlock> blocks);

@@ -22,8 +22,9 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
                                  const FaultSimResult* full) {
   MixedSweepResult sr;
   sr.lengths.assign(lengths.begin(), lengths.end());
+  sr.width = k.inputs().size();
   if (lengths.empty()) return sr;
-  const std::size_t width = k.inputs().size();
+  const std::size_t width = sr.width;
   const std::size_t lmax = *std::max_element(lengths.begin(), lengths.end());
 
   // --- One LFSR fault-sim pass amortized over every candidate length ------

@@ -55,6 +55,7 @@ struct MixedSweepStats {
 struct MixedSweepResult {
   std::vector<std::size_t> lengths;      ///< as given, order preserved
   std::vector<MixedSchemeResult> points; ///< parallel to `lengths`
+  std::size_t width = 0;  ///< pattern width (= circuit PI count) of the run
   MixedSweepStats stats;
 };
 

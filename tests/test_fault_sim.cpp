@@ -79,6 +79,45 @@ int main() {
     CHECK_EQ(r2.detected_weight, r.detected_weight);
   }
 
+  // --- prefix-view edge cases: length 0 and beyond the run ---------------
+  {
+    const Netlist n = make_iscas85("c432s");
+    const SimKernel k(n);
+    FaultSimulator fsim(k);
+    Lfsr lfsr = Lfsr::maximal(32, 0xACE1);
+    const auto blocks = lfsr.blocks(n.input_count(), 256);
+    const FaultSimResult full = fsim.run(blocks);
+
+    // length 0: nothing detected, every simulated fault in the tail.
+    CHECK_EQ(full.detected_at(0), 0u);
+    CHECK_EQ(full.tail_at(0).size(), full.sim_faults);
+    const FaultSimResult p0 = fsim.prefix_result(full, 0);
+    CHECK_EQ(p0.patterns, 0u);
+    CHECK_EQ(p0.detected, 0u);
+    CHECK_EQ(p0.detected_weight, 0u);
+    CHECK(p0.coverage.empty());
+    CHECK(p0.coverage_weighted.empty());
+    for (std::int64_t fd : p0.first_detected) CHECK_EQ(fd, -1);
+
+    // lengths beyond the run clamp to the full result instead of throwing.
+    for (const std::size_t beyond : {257u, 100000u}) {
+      CHECK_EQ(full.detected_at(beyond), full.detected);
+      CHECK(full.tail_at(beyond) == full.tail_at(full.patterns));
+      const FaultSimResult pb = fsim.prefix_result(full, beyond);
+      CHECK_EQ(pb.patterns, full.patterns);
+      CHECK_EQ(pb.detected, full.detected);
+      CHECK_EQ(pb.detected_weight, full.detected_weight);
+      CHECK(pb.first_detected == full.first_detected);
+      CHECK(pb.coverage == full.coverage);
+      CHECK(pb.coverage_weighted == full.coverage_weighted);
+    }
+
+    // Mismatched fault list still throws: the clamp is about lengths only.
+    FaultSimulator other(k, {fsim.faults().begin(), fsim.faults().end() - 1},
+                         full.total_faults);
+    CHECK_THROWS(other.prefix_result(full, 10));
+  }
+
   // --- dominance weight attribution goes to the dominating class ---------
   // g = AND(a, b), o = XOR(g, c).  g out s-a-1 is dominance-dropped; its
   // weight belongs with the dominating input s-a-1 class (here a s-a-1 via

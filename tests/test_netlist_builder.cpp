@@ -1,0 +1,232 @@
+// NetlistBuilder: name-based construction with forward references, fresh
+// names, and error detection — plus the full round trip the generator layer
+// relies on: NetlistBuilder -> freeze/levelize -> write_bench -> read_bench
+// -> SimKernel equivalence, on hand-built and generated circuits.
+
+#include <string>
+#include <vector>
+
+#include "circuits/c17.hpp"
+#include "circuits/generators.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stats.hpp"
+#include "sim/kernel.hpp"
+#include "test_util.hpp"
+#include "tpg/lfsr.hpp"
+
+using namespace bist;
+
+namespace {
+
+// Exhaustive (inputs <= 16) or LFSR-driven SimKernel equivalence by PI/PO
+// name between two frozen netlists.
+void check_sim_equivalent(const Netlist& a, const Netlist& b) {
+  CHECK_EQ(a.input_count(), b.input_count());
+  CHECK_EQ(a.output_count(), b.output_count());
+  const SimKernel ka(a), kb(b);
+  KernelSim sa(ka), sb(kb);
+
+  Lfsr lfsr = Lfsr::maximal(24, 0xA5);
+  for (int round = 0; round < 4; ++round) {
+    PatternBlock blk_a = lfsr.next_block(a.input_count());
+    // Map lanes onto b's input order by name.
+    PatternBlock blk_b;
+    blk_b.width = b.input_count();
+    blk_b.count = blk_a.count;
+    blk_b.input_words.assign(blk_b.width, 0);
+    for (std::size_t i = 0; i < a.input_count(); ++i) {
+      const GateId g = b.find(a.gate(a.inputs()[i]).name);
+      CHECK(g != kNoGate);
+      blk_b.input_words[b.input_index(g)] = blk_a.input_words[i];
+    }
+    sa.simulate(blk_a);
+    sb.simulate(blk_b);
+    for (std::size_t o = 0; o < a.output_count(); ++o) {
+      const GateId g = b.find(a.gate(a.outputs()[o]).name);
+      CHECK(g != kNoGate);
+      CHECK_EQ(sa.value(a.outputs()[o]) & blk_a.lane_mask(),
+               sb.value(g) & blk_a.lane_mask());
+    }
+  }
+}
+
+void check_roundtrip(const Netlist& n) {
+  const Netlist back = read_bench(write_bench(n), n.name());
+  CHECK(back.frozen());
+  CHECK_EQ(compute_stats(n).gates, compute_stats(back).gates);
+  check_sim_equivalent(n, back);
+}
+
+}  // namespace
+
+int main() {
+  // --- construction basics -------------------------------------------------
+  {
+    NetlistBuilder b("fwd");
+    // Definitions in *reverse* topological order: every fanin is a forward
+    // reference when define() is called.
+    b.output("y");
+    b.define("y", GateType::Nand, {"m1", "m2"});
+    b.define("m1", GateType::Xor, {"a", "b"});
+    b.define("m2", GateType::Nor, {"b", "c", "k"});
+    b.constant("k", false);
+    b.input("a");
+    b.input("b");
+    b.input("c");
+    const Netlist n = b.build();
+    CHECK(n.frozen());
+    CHECK_EQ(n.input_count(), std::size_t{3});
+    CHECK_EQ(n.output_count(), std::size_t{1});
+    CHECK_EQ(n.logic_gate_count(), std::size_t{4});
+    CHECK(n.find("m2") != kNoGate);
+    CHECK_EQ(static_cast<int>(n.gate(n.find("k")).type),
+             static_cast<int>(GateType::Const0));
+    // Builder is reusable after build().
+    CHECK_EQ(b.definition_count(), std::size_t{0});
+    b.input("p");
+    b.define("q", GateType::Not, {"p"});
+    b.output("q");
+    CHECK_EQ(b.build().logic_gate_count(), std::size_t{1});
+  }
+
+  // Sibling forward references are NOT cycles: when a gate's two fanins are
+  // both still undefined and one feeds the other (a diamond), the DFS must
+  // order them, not misreport "combinational cycle" (regression: the old
+  // parser marked nodes on push instead of on expansion).
+  {
+    NetlistBuilder b("diamond");
+    b.input("a");
+    b.output("top");
+    b.define("top", GateType::And, {"o1", "o2"});
+    b.define("o2", GateType::Not, {"o1"});
+    b.define("o1", GateType::Not, {"a"});
+    const Netlist n = b.build();
+    CHECK_EQ(n.logic_gate_count(), std::size_t{3});
+    CHECK_EQ(n.level(n.find("top")), 3u);
+  }
+  {
+    // Same shape through the .bench reader, plus a wider diamond where both
+    // shared-node parents are unresolved when their common parent expands.
+    const Netlist n = read_bench(
+        "INPUT(a)\nOUTPUT(top)\n"
+        "top = AND(o1, o2)\n"
+        "o2 = NOT(o1)\n"
+        "o1 = NOT(a)\n",
+        "diamond_bench");
+    CHECK_EQ(n.logic_gate_count(), std::size_t{3});
+    const Netlist w = read_bench(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+        "y = OR(p, q, r)\n"
+        "p = AND(s, a)\n"
+        "q = AND(s, b)\n"
+        "r = XOR(p, q)\n"
+        "s = NAND(a, b)\n",
+        "wide_diamond");
+    CHECK_EQ(w.logic_gate_count(), std::size_t{5});
+    // ...while a genuine cycle through the same shapes still throws.
+    CHECK_THROWS(read_bench(
+        "INPUT(a)\nOUTPUT(top)\n"
+        "top = AND(o1, o2)\n"
+        "o2 = NOT(o1)\n"
+        "o1 = NOT(o2)\n",
+        "real_cycle"));
+    CHECK_THROWS(read_bench("INPUT(a)\nOUTPUT(x)\nx = AND(x, a)\n", "self"));
+  }
+
+  // fresh() never collides with used or previously handed-out names.
+  {
+    NetlistBuilder b("fresh");
+    b.input("n0");
+    const std::string f1 = b.fresh("n");
+    b.input(f1);
+    const std::string f2 = b.fresh("n");
+    CHECK(f1 != "n0");
+    CHECK(f2 != f1 && f2 != "n0");
+    CHECK(b.defined("n0"));
+    CHECK(!b.defined(f2));
+  }
+
+  // --- error detection -----------------------------------------------------
+  {
+    NetlistBuilder b("dup");
+    b.input("a");
+    CHECK_THROWS(b.input("a"));
+    CHECK_THROWS(b.define("a", GateType::Not, {"a"}));
+    b.define("g", GateType::Not, {"a"});
+    CHECK_THROWS(b.define("g", GateType::Not, {"a"}));
+    CHECK_THROWS(b.define("narrow", GateType::And, {"a"}));       // too few
+    CHECK_THROWS(b.define("wide", GateType::Buf, {"a", "g"}));    // too many
+    CHECK_THROWS(b.define("c", GateType::Const1, {"a"}));
+  }
+  {
+    NetlistBuilder b("undef");
+    b.input("a");
+    b.define("g", GateType::And, {"a", "nowhere"});
+    b.output("g");
+    CHECK_THROWS(b.build());
+  }
+  {
+    NetlistBuilder b("cycle");
+    b.input("a");
+    b.define("u", GateType::And, {"a", "v"});
+    b.define("v", GateType::Not, {"u"});
+    b.output("v");
+    CHECK_THROWS(b.build());
+  }
+  {
+    NetlistBuilder b("noout");
+    b.input("a");
+    b.define("g", GateType::Not, {"a"});
+    CHECK_THROWS(b.build());  // freeze() rejects netlists without outputs
+  }
+  {
+    NetlistBuilder b("badout");
+    b.input("a");
+    b.output("missing");
+    CHECK_THROWS(b.build());
+  }
+
+  // --- builder-built C17 equals the hand-built and the parsed one ----------
+  {
+    NetlistBuilder b("c17");
+    for (const char* in : {"1", "2", "3", "6", "7"}) b.input(in);
+    b.define("10", GateType::Nand, {"1", "3"});
+    b.define("11", GateType::Nand, {"3", "6"});
+    b.define("16", GateType::Nand, {"2", "11"});
+    b.define("19", GateType::Nand, {"11", "7"});
+    b.define("22", GateType::Nand, {"10", "16"});
+    b.define("23", GateType::Nand, {"16", "19"});
+    b.output("22");
+    b.output("23");
+    const Netlist built = b.build();
+    check_sim_equivalent(built, make_c17());
+    check_sim_equivalent(built, read_bench(c17_bench_text(), "c17"));
+    check_roundtrip(built);
+  }
+
+  // --- round trip on generated circuits ------------------------------------
+  check_roundtrip(make_ecc_circuit(16, 5));
+  check_roundtrip(make_array_multiplier(4));
+
+  // A builder-generated structure exercising every gate type and a long
+  // forward-reference chain (definitions emitted leaves-last).
+  {
+    NetlistBuilder b("mixedtypes");
+    b.output("top");
+    b.define("top", GateType::Xnor, {"o1", "o2"});
+    b.define("o1", GateType::Or, {"x0", "x1", "x2"});
+    b.define("o2", GateType::Nor, {"x2", "neg"});
+    b.define("neg", GateType::Not, {"x0"});
+    b.define("x0", GateType::And, {"i0", "i1"});
+    b.define("x1", GateType::Nand, {"i1", "i2", "i3"});
+    b.define("x2", GateType::Xor, {"i2", "buf"});
+    b.define("buf", GateType::Buf, {"i3"});
+    for (int i = 0; i < 4; ++i) b.input("i" + std::to_string(i));
+    const Netlist n = b.build();
+    CHECK_EQ(n.max_level(), 4u);
+    check_roundtrip(n);
+  }
+
+  return bist_test::summary();
+}
