@@ -36,14 +36,28 @@
 // coverage-vs-length and ROM-vs-length trade-off curves so the knee is
 // visible in CI logs.
 //
+// Robustness flags: --deadline-ms D arms a cooperative anytime deadline over
+// each mixed-scheme / sweep section (per circuit, per section), and
+// --job-timeout-ms J caps each circuit's whole pipeline; the tighter of the
+// two drives every section's Deadline.  Deadline-shaped runs degrade instead
+// of failing — the sweep yields LfsrOnly/Skipped points per its anytime
+// contract, the scheduler falls back to a degraded (LFSR-only) plan, and the
+// wrapper is still synthesized and self-verified.  Because results are then
+// wall-clock-shaped, the naive cross-check is skipped and each timed section
+// runs exactly once (no warmup/best-of, which would mix deadline states);
+// the JSON carries `state`/`status`/`degraded` fields so downstream tooling
+// can gate on them.
+//
 // Usage: bench_fault_sim [--patterns N] [--reps N] [--threads N] [--width W]
 //                        [--circuits c17,c6288s,...]
 //                        [--podem-backtracks N] [--no-mixed]
 //                        [--mixed-reps N] [--no-sweep] [--sweep-reps N]
 //                        [--sweep-lengths a,b,c]
 //                        [--no-bist] [--budget N] [--wrapper-dir DIR]
+//                        [--deadline-ms D] [--job-timeout-ms J]
 //                        [--out FILE] [--plot]
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -65,6 +79,7 @@
 #include "tpg/mixed.hpp"
 #include "tpg/sweep.hpp"
 #include "util/ascii_plot.hpp"
+#include "util/deadline.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/wallclock.hpp"
@@ -222,6 +237,8 @@ int run_bench(int argc, char** argv) {
   bool run_bist = true;
   std::size_t budget = 0;          // scheduler test-time budget, 0 = none
   std::string wrapper_dir = ".";   // where wrapper_<circuit>.bench lands
+  double deadline_ms = 0;          // anytime deadline per timed section, 0 = off
+  double job_timeout_ms = 0;       // wall-clock cap per circuit pipeline, 0 = off
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -260,6 +277,10 @@ int run_bench(int argc, char** argv) {
       budget = std::stoul(next());
     } else if (a == "--wrapper-dir") {
       wrapper_dir = next();
+    } else if (a == "--deadline-ms") {
+      deadline_ms = std::stod(next());
+    } else if (a == "--job-timeout-ms") {
+      job_timeout_ms = std::stod(next());
     } else if (a == "--sweep-lengths") {
       sweep_lengths.clear();
       const std::string list = next();
@@ -276,6 +297,7 @@ int run_bench(int argc, char** argv) {
                    "[--podem-backtracks N] [--no-mixed] [--mixed-reps N] "
                    "[--no-sweep] [--sweep-reps N] [--sweep-lengths a,b,c] "
                    "[--no-bist] [--budget N] [--wrapper-dir DIR] "
+                   "[--deadline-ms D] [--job-timeout-ms J] "
                    "[--out FILE] [--plot]\n";
       return 2;
     }
@@ -284,6 +306,16 @@ int run_bench(int argc, char** argv) {
   if (reps < 1) reps = 1;
   if (mixed_reps < 1) mixed_reps = 1;
   if (sweep_reps < 1) sweep_reps = 1;
+  // Deadline-shaped runs are not repeatable measurements: a warmup or a
+  // best-of-N rep would consume a different slice of the budget each pass and
+  // compare apples to anytime oranges.  Each deadlined section runs exactly
+  // once against a fresh Deadline, and the naive cross-check (which expects
+  // bit-identical Complete points) is skipped.
+  const bool anytime = deadline_ms > 0 || job_timeout_ms > 0;
+  if (anytime) {
+    mixed_reps = 1;
+    sweep_reps = 1;
+  }
   if (sweep_lengths.empty()) {
     // Six points spanning the trade-off curve up to the full phase length.
     for (const double f : {0.125, 0.25, 0.375, 0.5, 0.75, 1.0}) {
@@ -306,6 +338,25 @@ int run_bench(int argc, char** argv) {
   bool wrappers_ok = true;
   bool first = true;
   for (const std::string& name : names) {
+    // Per-circuit robustness budget: each deadlined section gets the tighter
+    // of --deadline-ms and whatever --job-timeout-ms has left for this
+    // circuit's pipeline (so a blown job budget degrades later sections
+    // immediately instead of overrunning).
+    const auto circuit_t0 = Clock::now();
+    const auto section_budget = [&]() -> double {
+      double s = -1;  // -1 = no deadline
+      if (deadline_ms > 0) s = deadline_ms / 1000.0;
+      if (job_timeout_ms > 0) {
+        const double rem =
+            std::max(0.0, job_timeout_ms / 1000.0 - seconds_since(circuit_t0));
+        s = s < 0 ? rem : std::min(s, rem);
+      }
+      return s;
+    };
+    // Section deadlines live at circuit scope: options structs hold a raw
+    // pointer into them across the section's run.
+    bist::Deadline mixed_dl, sweep_dl;
+
     bist::Netlist n = bist::make_iscas85(name);
     const bist::NetlistStats st = bist::compute_stats(n);
     const bist::SimKernel kernel(n);
@@ -362,13 +413,18 @@ int run_bench(int argc, char** argv) {
 
     bist::MixedSchemeResult mr;
     double msecs = 0;
+    if (mixed && anytime) {
+      mixed_dl = bist::Deadline::after(section_budget());
+      mopt.deadline = &mixed_dl;
+    }
     if (mixed) {
       // Same hygiene as the sim sections: one untimed warmup, then
       // mixed_reps timed full-pipeline passes (LFSR phase included — the
       // per-phase breakdown wants the real thing, not the cached fr), best
       // kept.  Results are identical every pass; only timing varies.
       msecs = 1e30;
-      for (int rep = -1; rep < mixed_reps; ++rep) {
+      // anytime: no warmup pass — it would burn the (single, shared) budget.
+      for (int rep = anytime ? 0 : -1; rep < mixed_reps; ++rep) {
         const auto tm0 = Clock::now();
         bist::MixedSchemeResult cur = bist::run_mixed_tpg(kernel, fsim, mopt);
         const double s = seconds_since(tm0);
@@ -388,6 +444,10 @@ int run_bench(int argc, char** argv) {
                 << bist::format_fixed(mr.podem_seconds, 2) << " compact "
                 << bist::format_fixed(mr.compact_seconds, 2) << ")"
                 << (mr.all_verified ? "" : " [VERIFY FAILED]") << "\n";
+      if (!mr.status.ok())
+        std::cout << name << ": mixed scheme degraded to "
+                  << bist::point_state_name(mr.state) << " ("
+                  << bist::stage_code_name(mr.status.code) << ")\n";
     }
 
     // --- Incremental sweep vs. the naive per-point loop ------------------
@@ -400,16 +460,22 @@ int run_bench(int argc, char** argv) {
       // is the expensive side of the comparison, and the min-of-N treatment
       // is reserved for the engine under test.
       std::vector<bist::MixedSchemeResult> naive;
-      const auto tn0 = Clock::now();
-      for (const std::size_t len : sweep_lengths) {
-        bist::MixedTpgOptions po = mopt;
-        po.lfsr_patterns = len;
-        naive.push_back(bist::run_mixed_tpg(kernel, fsim, po));
+      if (!anytime) {
+        const auto tn0 = Clock::now();
+        for (const std::size_t len : sweep_lengths) {
+          bist::MixedTpgOptions po = mopt;
+          po.lfsr_patterns = len;
+          naive.push_back(bist::run_mixed_tpg(kernel, fsim, po));
+        }
+        naive_secs = seconds_since(tn0);
       }
-      naive_secs = seconds_since(tn0);
 
+      if (anytime) {
+        sweep_dl = bist::Deadline::after(section_budget());
+        mopt.deadline = &sweep_dl;
+      }
       sweep_secs = 1e30;
-      for (int rep = -1; rep < sweep_reps; ++rep) {
+      for (int rep = anytime ? 0 : -1; rep < sweep_reps; ++rep) {
         const auto ts0 = Clock::now();
         bist::MixedSweepResult cur =
             bist::run_mixed_sweep(kernel, fsim, sweep_lengths, mopt);
@@ -418,12 +484,14 @@ int run_bench(int argc, char** argv) {
         if (rep >= 0) sweep_secs = std::min(sweep_secs, s);
       }
 
-      for (std::size_t p = 0; p < sweep_lengths.size(); ++p)
-        sweep_match = sweep_match && same_scheme_point(sw.points[p], naive[p]);
-      if (!sweep_match) {
-        std::cerr << name << ": sweep point results diverge from the naive "
-                     "per-point loop!\n";
-        return 1;
+      if (!anytime) {
+        for (std::size_t p = 0; p < sweep_lengths.size(); ++p)
+          sweep_match = sweep_match && same_scheme_point(sw.points[p], naive[p]);
+        if (!sweep_match) {
+          std::cerr << name << ": sweep point results diverge from the naive "
+                       "per-point loop!\n";
+          return 1;
+        }
       }
       for (const auto& pt : sw.points)
         all_verified = all_verified && pt.all_verified;
@@ -435,6 +503,13 @@ int run_bench(int argc, char** argv) {
                 << sw.stats.podem_calls << " calls + "
                 << sw.stats.podem_cache_hits << " cache hits, "
                 << sw.stats.podem_threads << " threads)\n";
+      if (!sw.status.ok()) {
+        std::cout << name << ": sweep degraded ("
+                  << bist::stage_code_name(sw.status.code) << "), points:";
+        for (const auto& pt : sw.points)
+          std::cout << " " << bist::point_state_name(pt.state);
+        std::cout << "\n";
+      }
     }
 
     // --- BIST hardware plan: schedule -> synthesize -> self-verify --------
@@ -488,7 +563,8 @@ int run_bench(int argc, char** argv) {
                 << bist::format_fixed(100 * wv.achieved_coverage, 2) << "%"
                 << (wv.ok() ? " == plan" : " [PLAN MISMATCH]") << " ("
                 << bist::format_fixed(sched_secs + synth_secs + selfsim_secs, 2)
-                << "s)\n";
+                << "s)" << (plan.degraded ? " [DEGRADED: LFSR-only tier]" : "")
+                << "\n";
     }
 
     if (!first) js << ",\n";
@@ -550,6 +626,11 @@ int run_bench(int argc, char** argv) {
          << json_num(mr.final_coverage_weighted) << ",\n"
          << "        \"patterns_verified\": "
          << (mr.all_verified ? "true" : "false") << ",\n"
+         << "        \"state\": "
+         << json_str(std::string(bist::point_state_name(mr.state))) << ",\n"
+         << "        \"status\": "
+         << json_str(std::string(bist::stage_code_name(mr.status.code)))
+         << ",\n"
          << "        \"reps\": " << mixed_reps << ",\n"
          << "        \"seconds_best\": " << json_num(msecs) << ",\n"
          << "        \"lfsr_seconds\": " << json_num(mr.lfsr_seconds) << ",\n"
@@ -570,7 +651,9 @@ int run_bench(int argc, char** argv) {
            << ", \"lfsr_coverage\": " << json_num(pt.lfsr_coverage)
            << ", \"final_coverage\": " << json_num(pt.final_coverage)
            << ", \"final_coverage_weighted\": "
-           << json_num(pt.final_coverage_weighted) << "}"
+           << json_num(pt.final_coverage_weighted)
+           << ", \"state\": "
+           << json_str(std::string(bist::point_state_name(pt.state))) << "}"
            << (p + 1 < sw.points.size() ? "," : "") << "\n";
       }
       js << "        ],\n"
@@ -584,18 +667,34 @@ int run_bench(int argc, char** argv) {
          << ",\n"
          << "        \"compact_seconds\": "
          << json_num(sw.stats.compact_seconds) << ",\n"
-         << "        \"naive_reps\": 1,\n"
+         << "        \"status\": "
+         << json_str(std::string(bist::stage_code_name(sw.status.code)))
+         << ",\n"
+         << "        \"completed_points\": "
+         << std::count_if(sw.points.begin(), sw.points.end(),
+                          [](const bist::MixedSchemeResult& pt) {
+                            return pt.state == bist::PointState::Complete;
+                          })
+         << ",\n"
+         << "        \"naive_reps\": " << (anytime ? 0 : 1) << ",\n"
          << "        \"naive_seconds\": " << json_num(naive_secs) << ",\n"
          << "        \"sweep_reps\": " << sweep_reps << ",\n"
          << "        \"sweep_seconds_best\": " << json_num(sweep_secs) << ",\n"
          << "        \"speedup_naive_over_sweep\": "
-         << json_num(sweep_secs > 0 ? naive_secs / sweep_secs : 0) << ",\n"
-         << "        \"points_match_naive\": "
-         << (sweep_match ? "true" : "false") << "\n      }";
+         << json_num(sweep_secs > 0 ? naive_secs / sweep_secs : 0) << ",\n";
+      if (!anytime)
+        js << "        \"points_match_naive\": "
+           << (sweep_match ? "true" : "false") << ",\n";
+      js << "        \"deadline_ms\": " << json_num(deadline_ms)
+         << "\n      }";
     }
     if (do_bist) {
       js << ",\n      \"bist_plan\": {\n"
          << "        \"objective\": \"knee_under_budget\",\n"
+         << "        \"degraded\": " << (plan.degraded ? "true" : "false")
+         << ",\n"
+         << "        \"status\": " << (wv.ok() ? "\"ok\"" : "\"error\"")
+         << ",\n"
          << "        \"test_time_budget\": " << budget << ",\n"
          << "        \"chosen_length\": " << plan.lfsr_patterns << ",\n"
          << "        \"topoff_patterns\": " << plan.topoff_patterns << ",\n"

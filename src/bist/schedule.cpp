@@ -21,12 +21,30 @@ BistPlan schedule_bist(const MixedSweepResult& sweep, std::size_t width,
 
   const std::uint64_t taps = Lfsr::primitive_taps(opt.lfsr_degree);
 
+  // Anytime ladder: prefer Complete points; with none (a deadline gutted the
+  // sweep) fall back to the LfsrOnly tier and mark the plan degraded.  A
+  // sweep where everything was Skipped has no usable data at all.
+  const bool any_complete = std::any_of(
+      sweep.points.begin(), sweep.points.end(),
+      [](const MixedSchemeResult& p) { return p.state == PointState::Complete; });
+  const PointState tier =
+      any_complete ? PointState::Complete : PointState::LfsrOnly;
+  const bool degraded = !any_complete;
+  if (degraded &&
+      std::none_of(sweep.points.begin(), sweep.points.end(),
+                   [](const MixedSchemeResult& p) {
+                     return p.state == PointState::LfsrOnly;
+                   }))
+    throw std::invalid_argument(
+        "schedule_bist: sweep has no usable point (all skipped)");
+
   // Canonical candidate list: first occurrence per distinct length,
   // ascending length — the selection below sees the same list for any
   // permutation/duplication of the caller's sweep lengths.
   std::vector<SchedulePoint> cand;
   for (std::size_t p = 0; p < sweep.points.size(); ++p) {
     const MixedSchemeResult& pt = sweep.points[p];
+    if (pt.state != tier) continue;
     const bool dup = std::any_of(
         cand.begin(), cand.end(),
         [&](const SchedulePoint& c) { return c.length == pt.lfsr_patterns; });
@@ -139,6 +157,7 @@ BistPlan schedule_bist(const MixedSweepResult& sweep, std::size_t width,
   plan.lfsr_coverage = pt.lfsr_coverage;
   plan.final_coverage = pt.final_coverage;
   plan.final_coverage_weighted = pt.final_coverage_weighted;
+  plan.degraded = degraded;
   plan.candidates = std::move(cand);
   return plan;
 }

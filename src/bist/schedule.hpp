@@ -86,14 +86,28 @@ struct BistPlan {
   double lfsr_coverage = 0;
   double final_coverage = 0;
   double final_coverage_weighted = 0;
+  /// True when the plan was selected from LfsrOnly (anytime-degraded) sweep
+  /// points because no Complete point existed — the plan has an empty
+  /// top-off set and claims only the pseudo-random coverage.  A degraded
+  /// plan is still a valid hardware configuration: the wrapper synthesized
+  /// from it passes verify_wrapper, since the coverage it claims is exactly
+  /// what the LFSR phase proved.
+  bool degraded = false;
   /// Every candidate the selection considered, ascending length.
   std::vector<SchedulePoint> candidates;
 };
 
 /// Select the operating point.  `width` is the CUT's primary-input count
 /// (= pattern width; prices the ROM).  Throws std::invalid_argument on an
-/// empty sweep or mismatched lengths/points arrays.  Deterministic, and
-/// invariant under permutation/duplication of the sweep's length list.
+/// empty sweep, mismatched lengths/points arrays, or a sweep with no usable
+/// point (every point Skipped — run_mixed_sweep's anytime floor guarantees
+/// this never happens for its own results).  Deterministic, and invariant
+/// under permutation/duplication of the sweep's length list.
+///
+/// Anytime selection ladder: Complete points are preferred — when any
+/// exists the selection runs over Complete points only and is bit-identical
+/// to the pre-deadline behavior.  Otherwise the selection runs over the
+/// LfsrOnly points and the plan is marked `degraded`.
 BistPlan schedule_bist(const MixedSweepResult& sweep, std::size_t width,
                        const ScheduleOptions& opt = {});
 

@@ -194,10 +194,14 @@ FaultSimResult FaultSimulator::prefix_result(const FaultSimResult& full,
                                              std::size_t length) const {
   if (full.first_detected.size() != faults_.size())
     throw std::invalid_argument("prefix_result: fault list mismatch");
+  FaultSimResult r;
   // Lengths beyond the run clamp to the run (the full result *is* the prefix
   // at any longer length); length 0 degenerates to the empty-prefix result.
+  // Exception: when `full` itself stopped early (deadline/cancel), a longer
+  // length is NOT answered by the truncated run — the clamped data is still
+  // returned, but the stop status is propagated so the caller can tell.
+  if (length > full.patterns && !full.status.ok()) r.status = full.status;
   length = std::min(length, full.patterns);
-  FaultSimResult r;
   r.total_faults = full.total_faults;
   r.sim_faults = full.sim_faults;
   r.total_weight = full.total_weight;
@@ -411,6 +415,10 @@ FaultSimResult FaultSimulator::run_legacy(std::span<const PatternBlock> blocks,
 
   std::size_t base = 0;
   for (const PatternBlock& blk : blocks) {
+    if (opt.deadline && opt.deadline->should_stop()) {
+      r.status = opt.deadline->stop_status("fault_sim");
+      break;  // r describes the base-pattern prefix that did run, exactly
+    }
     good.simulate(blk);
     const std::uint64_t lanes = blk.lane_mask();
     const std::uint64_t* gv = good.values().data();
@@ -486,6 +494,14 @@ FaultSimResult FaultSimulator::run_ffr(std::span<const PatternBlock> blocks,
   std::size_t base = 0;
   std::size_t bi = 0;
   while (bi < blocks.size()) {
+    // One cooperative check per block group: stop latency is bounded by a
+    // single group's good-machine + stem-stage cost, and the check touches
+    // nothing the detection math depends on, so a stopped run is the exact
+    // prefix of an uninterrupted one.
+    if (opt.deadline && opt.deadline->should_stop()) {
+      r.status = opt.deadline->stop_status("fault_sim");
+      break;
+    }
     const std::size_t nb = WideSimT<W>::group_size(blocks, bi);
     const std::span<const PatternBlock> grp = blocks.subspan(bi, nb);
     std::size_t grp_patterns = 0;

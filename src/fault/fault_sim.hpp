@@ -44,6 +44,7 @@
 
 #include "fault/fault.hpp"
 #include "sim/kernel.hpp"
+#include "util/deadline.hpp"
 
 namespace bist {
 
@@ -60,6 +61,12 @@ struct FaultSimOptions {
   /// per-fault full-cone propagation path — single-threaded, 64-lane — kept
   /// as the differential-testing reference.
   bool ffr = true;
+  /// Cooperative deadline/cancel, polled once per pattern-block group (so
+  /// stop latency is bounded by one group's propagation cost).  A run that
+  /// stops early returns the exact prefix result of the blocks it finished
+  /// — bit-identical to an uninterrupted run over those patterns — with
+  /// result.status recording why it stopped.  nullptr = never stops.
+  const Deadline* deadline = nullptr;
 };
 
 struct FaultSimResult {
@@ -69,7 +76,12 @@ struct FaultSimResult {
   std::uint64_t detected_weight = 0;  ///< class-size-weighted detected count
   std::uint64_t total_weight = 0;     ///< sum of class sizes (== total_faults
                                       ///< when the list came from collapsing)
-  std::size_t patterns = 0;
+  std::size_t patterns = 0;  ///< patterns actually simulated (may be short
+                             ///< of the request when status is not Ok)
+  /// Ok for a full run; DeadlineExceeded/Cancelled when a cooperative check
+  /// stopped the pass early, in which case every field describes the
+  /// `patterns`-long prefix that DID run, bit-identically.
+  StageStatus status;
   unsigned threads = 1;     ///< resolved worker count the run used
   unsigned word_width = 1;  ///< resolved pattern word width (64-lane units)
   /// Per simulated fault: index of the first detecting pattern, -1 undetected.

@@ -18,6 +18,7 @@ std::string_view podem_status_name(PodemStatus s) {
     case PodemStatus::Detected: return "detected";
     case PodemStatus::Redundant: return "redundant";
     case PodemStatus::Aborted: return "aborted";
+    case PodemStatus::Cancelled: return "cancelled";
   }
   return "?";
 }
@@ -197,6 +198,17 @@ void Podem::backtrace(KIndex g, Ternary v, std::uint32_t* pi_idx,
 }
 
 bool Podem::search() {
+  // Cooperative stop, polled once per search node (== once per decision
+  // plus the root): a node costs a full ternary simulate, orders of
+  // magnitude above the poll, so cancellation latency is one node while an
+  // undeadlined search is untouched — the poll reads a clock and a flag,
+  // never search state.  Reuses the abort unwinding (no second branches),
+  // so the whole stack collapses immediately.
+  if (deadline_ && deadline_->should_stop()) {
+    cancelled_ = true;
+    aborted_ = true;
+    return false;
+  }
   if (detected()) return true;
   const Ternary lg = good_.value_at(line_);
   if (lg == stuck_t_) return false;  // activation impossible under this cube
@@ -249,6 +261,8 @@ PodemResult Podem::generate(const Fault& f, const PodemOptions& opt) {
   decisions_ = 0;
   limit_ = opt.backtrack_limit;
   aborted_ = false;
+  cancelled_ = false;
+  deadline_ = opt.deadline;
   const bool found = search();
 
   PodemResult r;
@@ -259,6 +273,8 @@ PodemResult Podem::generate(const Fault& f, const PodemOptions& opt) {
     r.cube.resize(k_->inputs().size());
     for (std::size_t i = 0; i < r.cube.size(); ++i)
       r.cube[i] = good_.value_at(k_->inputs()[i]);
+  } else if (cancelled_) {
+    r.status = PodemStatus::Cancelled;  // no verdict: the search was cut off
   } else {
     r.status = aborted_ ? PodemStatus::Aborted : PodemStatus::Redundant;
   }
@@ -284,8 +300,17 @@ unsigned PodemBatch::workers() const { return pool_->workers(); }
 std::vector<PodemResult> PodemBatch::generate(std::span<const Fault> faults,
                                               const PodemOptions& opt) {
   std::vector<PodemResult> results(faults.size());
+  if (opt.deadline) {
+    // Pre-mark every slot Cancelled so faults never claimed once the
+    // deadline fires read as "no verdict" rather than the default status.
+    // Claimed faults overwrite their slot (possibly also with Cancelled, if
+    // the deadline fired mid-search); completed verdicts are bit-identical
+    // to an undeadlined run by the engine's determinism contract.
+    for (PodemResult& r : results) r.status = PodemStatus::Cancelled;
+  }
   parallel_for(*pool_, faults.size(), 1,
                [&](unsigned wid, std::size_t b, std::size_t e) {
+                 if (opt.deadline && opt.deadline->should_stop()) return;
                  for (std::size_t i = b; i < e; ++i)
                    results[i] = engines_[wid]->generate(faults[i], opt);
                });

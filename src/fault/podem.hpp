@@ -26,6 +26,7 @@
 #include "fault/fault.hpp"
 #include "sim/kernel.hpp"
 #include "sim/ternary_sim.hpp"
+#include "util/deadline.hpp"
 
 namespace bist {
 
@@ -35,6 +36,9 @@ enum class PodemStatus : std::uint8_t {
   Detected,   ///< test cube found (and verified by the lock-step sims)
   Redundant,  ///< search space exhausted: no test exists
   Aborted,    ///< backtrack limit hit before a verdict
+  Cancelled,  ///< deadline/cancel fired mid-search: NO verdict — unlike
+              ///< Aborted this says nothing about the fault and must never
+              ///< be cached or counted as a search outcome
 };
 
 std::string_view podem_status_name(PodemStatus s);
@@ -45,6 +49,12 @@ struct PodemOptions {
   /// redundancy through reconvergent XOR/multiplier logic are the budget
   /// eaters and abort instead (see BENCH JSON podem.aborted per circuit).
   std::uint32_t backtrack_limit = 1000;
+  /// Cooperative deadline/cancel, polled once per decision inside the
+  /// search (and per fault by PodemBatch before claiming the next one).  A
+  /// search stopped mid-flight returns PodemStatus::Cancelled; verdicts
+  /// reached before the stop are untouched and bit-identical to an
+  /// undeadlined run.  nullptr = never stops.
+  const Deadline* deadline = nullptr;
 };
 
 struct PodemResult {
@@ -95,6 +105,8 @@ class Podem {
   std::uint64_t decisions_ = 0;
   std::uint32_t limit_ = 0;
   bool aborted_ = false;
+  bool cancelled_ = false;
+  const Deadline* deadline_ = nullptr;
 };
 
 /// Parallel PODEM: one persistent engine (its own good/faulty TernarySim

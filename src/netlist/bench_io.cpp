@@ -14,9 +14,31 @@ namespace {
   throw std::runtime_error(".bench line " + std::to_string(line) + ": " + msg);
 }
 
+// .bench is plain ASCII; anything else (control bytes, UTF-8, embedded NUL
+// from a truncated/corrupt file) is rejected up front so garbage can never
+// become a silently-mangled signal name.  Tab is the one control byte the
+// historical distributions use.
+void check_printable(int line, std::string_view s) {
+  for (const unsigned char c : s)
+    if ((c < 0x20 && c != '\t') || c >= 0x7F)
+      fail(line, "non-printable byte 0x" +
+                     [&] {
+                       constexpr char hex[] = "0123456789abcdef";
+                       return std::string{hex[c >> 4], hex[c & 0xF]};
+                     }());
+}
+
+void check_name(int line, std::string_view name, const BenchLimits& lim) {
+  if (name.size() > lim.max_name_len)
+    fail(line, "identifier of " + std::to_string(name.size()) +
+                   " bytes exceeds the " + std::to_string(lim.max_name_len) +
+                   "-byte limit");
+}
+
 }  // namespace
 
-Netlist read_bench(std::string_view text, std::string circuit_name) {
+Netlist read_bench(std::string_view text, std::string circuit_name,
+                   const BenchLimits& limits) {
   // The parser is a thin line-splitter in front of NetlistBuilder: INPUT/
   // OUTPUT/assignment lines go straight into the builder (in file order,
   // forward references and all) and build() does the topological emission,
@@ -26,6 +48,7 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
   NetlistBuilder b(std::move(circuit_name));
 
   int line_no = 0;
+  std::size_t defined = 0;  // INPUT declarations + gate definitions
   std::size_t pos = 0;
   while (pos <= text.size()) {
     std::size_t eol = text.find('\n', pos);
@@ -37,6 +60,7 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
       if (pos > text.size()) break;
       continue;
     }
+    check_printable(line_no, line);
 
     const std::size_t eq = line.find('=');
     try {
@@ -49,15 +73,27 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
         const std::string_view kw = trim(line.substr(0, lp));
         const std::string name{trim(line.substr(lp + 1, rp - lp - 1))};
         if (name.empty()) fail(line_no, "empty signal name");
-        if (iequals(kw, "INPUT")) b.input(name);
-        else if (iequals(kw, "OUTPUT")) b.output(name);
-        else fail(line_no, "unknown directive: " + std::string(kw));
+        check_name(line_no, name, limits);
+        if (iequals(kw, "INPUT")) {
+          if (++defined > limits.max_gates)
+            fail(line_no, "gate count exceeds the limit of " +
+                              std::to_string(limits.max_gates));
+          b.input(name);
+        } else if (iequals(kw, "OUTPUT")) {
+          b.output(name);
+        } else {
+          fail(line_no, "unknown directive: " + std::string(kw));
+        }
       } else {
         const std::string lhs{trim(line.substr(0, eq))};
         std::string_view rhs = trim(line.substr(eq + 1));
         const std::size_t lp = rhs.find('(');
         const std::size_t rp = rhs.rfind(')');
         if (lhs.empty()) fail(line_no, "empty lhs");
+        check_name(line_no, lhs, limits);
+        if (++defined > limits.max_gates)
+          fail(line_no, "gate count exceeds the limit of " +
+                            std::to_string(limits.max_gates));
         if (lp == std::string_view::npos || rp == std::string_view::npos ||
             rp < lp)
           fail(line_no, "expected GATE(a, b, ...)");
@@ -66,6 +102,10 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
         for (auto tok : split(rhs.substr(lp + 1, rp - lp - 1), ",")) {
           const std::string fn{trim(tok)};
           if (fn.empty()) fail(line_no, "empty fanin name");
+          check_name(line_no, fn, limits);
+          if (fanins.size() >= limits.max_fanins)
+            fail(line_no, "fanin list exceeds the limit of " +
+                              std::to_string(limits.max_fanins));
           fanins.push_back(fn);
         }
         // .bench allows 1-input AND/OR etc.; normalize to Buf.
@@ -90,10 +130,11 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
   return b.build();
 }
 
-Netlist read_bench_stream(std::istream& in, std::string circuit_name) {
+Netlist read_bench_stream(std::istream& in, std::string circuit_name,
+                          const BenchLimits& limits) {
   std::ostringstream ss;
   ss << in.rdbuf();
-  return read_bench(ss.str(), std::move(circuit_name));
+  return read_bench(ss.str(), std::move(circuit_name), limits);
 }
 
 std::string write_bench(const Netlist& n) {

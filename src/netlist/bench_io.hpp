@@ -9,6 +9,7 @@
 // The reader is two-pass so signals may be referenced before definition
 // (the original ISCAS distributions are not topologically sorted).
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -17,12 +18,26 @@
 
 namespace bist {
 
+/// Input-validation caps for read_bench — hard rejection thresholds for
+/// hostile or corrupt .bench text, generous enough that every legitimate
+/// netlist (ISCAS85/89 and far beyond) parses untouched.  Tests shrink them
+/// to exercise the rejection paths cheaply.
+struct BenchLimits {
+  std::size_t max_name_len = 256;        ///< per signal identifier, bytes
+  std::size_t max_fanins = 1024;         ///< per gate fanin list
+  std::size_t max_gates = 20'000'000;    ///< definitions + INPUT declarations
+};
+
 /// Parse a .bench netlist from text.  Throws std::runtime_error with a
-/// line-numbered message on malformed input.  The returned netlist is frozen.
-Netlist read_bench(std::string_view text, std::string circuit_name = "bench");
+/// line-numbered message (".bench line N: ...") on malformed input —
+/// including non-printable/non-ASCII bytes and identifiers, fanin lists or
+/// gate counts beyond `limits`.  The returned netlist is frozen.
+Netlist read_bench(std::string_view text, std::string circuit_name = "bench",
+                   const BenchLimits& limits = {});
 
 /// Parse from a stream (reads to EOF).
-Netlist read_bench_stream(std::istream& in, std::string circuit_name = "bench");
+Netlist read_bench_stream(std::istream& in, std::string circuit_name = "bench",
+                          const BenchLimits& limits = {});
 
 /// Serialize to .bench text.  read_bench(write_bench(n)) reproduces the
 /// netlist up to gate ordering.

@@ -1,0 +1,239 @@
+#include "pipeline/job.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+#include "bist/synth.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/kernel.hpp"
+#include "util/parallel.hpp"
+#include "util/wallclock.hpp"
+
+namespace bist {
+namespace {
+
+// ---- fault-injection hook --------------------------------------------------
+// One mutex-guarded (stage, circuit) pair plus a relaxed "armed" flag so the
+// disarmed fast path costs a single atomic load per stage entry.
+
+std::mutex g_inject_mutex;
+std::string g_inject_stage;
+std::string g_inject_circuit;
+std::atomic<bool> g_inject_armed{false};
+
+void maybe_inject(const char* stage, const std::string& circuit) {
+  if (!g_inject_armed.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_inject_mutex);
+  if (g_inject_stage == stage &&
+      (g_inject_circuit.empty() || g_inject_circuit == circuit))
+    throw std::runtime_error("injected failure: stage '" + g_inject_stage +
+                             "' circuit '" + circuit + "'");
+}
+
+// ---- stage runner ----------------------------------------------------------
+
+constexpr const char* kStageNames[] = {"parse", "sweep", "schedule", "synth",
+                                       "verify"};
+
+// Run one stage body under the job's isolation contract: wall-clock it,
+// catch anything it throws, and record a StageReport.  Returns true when the
+// stage completed (Ok or a deadline-shaped soft stop), false on Error.
+template <class Body>
+bool run_stage(JobReport& rep, const char* name, const std::string& circuit,
+               Body&& body) {
+  StageReport sr;
+  sr.name = name;
+  const auto t0 = WallClock::now();
+  try {
+    maybe_inject(name, circuit);
+    sr.status = body();  // body returns the stage's own status verdict
+  } catch (const std::exception& e) {
+    sr.status = StageStatus::error(std::string(name) + ": " + e.what());
+  } catch (...) {
+    sr.status = StageStatus::error(std::string(name) + ": unknown exception");
+  }
+  sr.seconds = seconds_since(t0);
+  const bool ok = sr.status.code != StageCode::Error;
+  rep.stages.push_back(std::move(sr));
+  return ok;
+}
+
+// Mark the stages after a failure/stop as not run, so the report always
+// lists all five stages and says why each missing one is missing.
+void mark_not_run(JobReport& rep, const std::string& why) {
+  for (std::size_t i = rep.stages.size(); i < 5; ++i) {
+    StageReport sr;
+    sr.name = kStageNames[i];
+    sr.status = StageStatus::error("not run: " + why);
+    rep.stages.push_back(std::move(sr));
+  }
+}
+
+}  // namespace
+
+void set_injected_failure(std::string stage, std::string circuit) {
+  std::lock_guard<std::mutex> lock(g_inject_mutex);
+  g_inject_stage = std::move(stage);
+  g_inject_circuit = std::move(circuit);
+  g_inject_armed.store(true, std::memory_order_relaxed);
+}
+
+void clear_injected_failure() {
+  std::lock_guard<std::mutex> lock(g_inject_mutex);
+  g_inject_stage.clear();
+  g_inject_circuit.clear();
+  g_inject_armed.store(false, std::memory_order_relaxed);
+}
+
+JobReport run_plan_job(const JobSpec& spec) {
+  JobReport rep;
+  rep.name = spec.name;
+  const auto job_t0 = WallClock::now();
+
+  // Whole-job deadline: checked at stage boundaries and folded into the
+  // sweep deadline.  An unset timeout still observes the cancel token.
+  Deadline job_dl = spec.job_timeout_s > 0 ? Deadline::after(spec.job_timeout_s)
+                                           : Deadline();
+  job_dl.observe(spec.cancel);
+
+  // Stage-boundary gate: when the job deadline/cancel has fired, the next
+  // stage is recorded as stopped (not Error — the job was told to stop) and
+  // the pipeline ends.
+  const auto boundary_stop = [&](const char* stage) {
+    if (!job_dl.should_stop()) return false;
+    StageReport sr;
+    sr.name = stage;
+    sr.status = job_dl.stop_status(stage);
+    rep.stages.push_back(std::move(sr));
+    mark_not_run(rep, "job stopped at stage '" + std::string(stage) + "'");
+    rep.status = job_dl.stop_status("job");
+    return true;
+  };
+
+  // --- parse ---------------------------------------------------------------
+  Netlist cut;
+  bool have_cut = false;
+  if (!boundary_stop("parse")) {
+    const bool ok = run_stage(rep, "parse", spec.name, [&] {
+      cut = read_bench(spec.bench_text, spec.name, spec.limits);
+      have_cut = true;
+      return StageStatus{};
+    });
+    if (!ok) {
+      mark_not_run(rep, "parse failed");
+    }
+  }
+
+  // --- sweep ---------------------------------------------------------------
+  bool have_sweep = false;
+  if (have_cut && rep.stages.size() < 2 && !boundary_stop("sweep")) {
+    run_stage(rep, "sweep", spec.name, [&] {
+      // The sweep's anytime deadline is the tighter of the per-stage sweep
+      // deadline and what is left of the whole-job budget; either way it
+      // observes the external cancel.  run_mixed_sweep degrades rather than
+      // fails, so this stage only Errors on a genuine exception.
+      double remain_s = -1;
+      if (spec.job_timeout_s > 0)
+        remain_s = std::max(0.0, spec.job_timeout_s - seconds_since(job_t0));
+      double sweep_s = -1;
+      if (spec.sweep_deadline_s > 0) sweep_s = spec.sweep_deadline_s;
+      if (remain_s >= 0) sweep_s = sweep_s < 0 ? remain_s
+                                               : std::min(sweep_s, remain_s);
+      Deadline sweep_dl =
+          sweep_s >= 0 ? Deadline::after(sweep_s) : Deadline();
+      sweep_dl.observe(spec.cancel);
+
+      MixedTpgOptions topt = spec.tpg;
+      topt.deadline = (sweep_s >= 0 || spec.cancel) ? &sweep_dl : nullptr;
+      const SimKernel kernel(cut);
+      rep.sweep = run_mixed_sweep(kernel, spec.sweep_lengths, topt);
+      have_sweep = true;
+      return rep.sweep.status;  // Ok, or the anytime stop reason
+    });
+    if (!have_sweep) mark_not_run(rep, "sweep failed");
+  }
+
+  // --- schedule ------------------------------------------------------------
+  bool have_plan = false;
+  if (have_sweep && rep.stages.size() < 3 && !boundary_stop("schedule")) {
+    const bool ok = run_stage(rep, "schedule", spec.name, [&] {
+      ScheduleOptions so = spec.schedule;
+      so.lfsr_degree = spec.tpg.lfsr_degree;
+      so.lfsr_seed = spec.tpg.lfsr_seed;
+      rep.plan = schedule_bist(rep.sweep, rep.sweep.width, so);
+      rep.degraded = rep.plan.degraded;
+      have_plan = true;
+      return StageStatus{};
+    });
+    if (!ok) mark_not_run(rep, "schedule failed");
+  }
+
+  // --- synth ---------------------------------------------------------------
+  Netlist wrapper;
+  bool have_wrapper = false;
+  if (have_plan && rep.stages.size() < 4 && !boundary_stop("synth")) {
+    const bool ok = run_stage(rep, "synth", spec.name, [&] {
+      BistSynthResult syn = synthesize_bist_wrapper(cut, rep.plan);
+      wrapper = std::move(syn.wrapper);
+      rep.wrapper_bench = write_bench(wrapper);
+      have_wrapper = true;
+      return StageStatus{};
+    });
+    if (!ok) mark_not_run(rep, "synth failed");
+  }
+
+  // --- verify --------------------------------------------------------------
+  if (have_wrapper && rep.stages.size() < 5 && !boundary_stop("verify")) {
+    run_stage(rep, "verify", spec.name, [&] {
+      rep.verification = verify_wrapper(
+          wrapper, cut, rep.plan, rep.sweep.points[rep.plan.point_index],
+          spec.tpg.fsim);
+      rep.wrapper_ok = rep.verification.ok();
+      if (!rep.wrapper_ok)
+        return StageStatus::error("verify: wrapper does not match the plan");
+      return StageStatus{};
+    });
+  }
+
+  // --- overall verdict -----------------------------------------------------
+  // Error anywhere dominates; else the first deadline/cancel stop; else Ok.
+  if (rep.status.ok()) {
+    for (const StageReport& sr : rep.stages)
+      if (sr.status.code == StageCode::Error) {
+        rep.status = StageStatus::error("stage '" + sr.name +
+                                        "' failed: " + sr.status.message);
+        break;
+      }
+  }
+  if (rep.status.ok()) {
+    for (const StageReport& sr : rep.stages)
+      if (!sr.status.ok()) {
+        rep.status = sr.status;
+        break;
+      }
+  }
+  rep.seconds = seconds_since(job_t0);
+  return rep;
+}
+
+std::vector<JobReport> run_job_batch(std::span<const JobSpec> specs,
+                                     unsigned threads) {
+  std::vector<JobReport> reports(specs.size());
+  if (specs.empty()) return reports;
+  WorkerPool pool(std::min<std::size_t>(resolve_threads(threads),
+                                        specs.size()));
+  // Grain 1: jobs are few and heavy.  run_plan_job never throws, so a
+  // failing job fills its own report slot and the region always completes —
+  // one bad circuit cannot poison its neighbors or wedge the pool.
+  parallel_for(pool, specs.size(), 1,
+               [&](unsigned, std::size_t b, std::size_t e) {
+                 for (std::size_t i = b; i < e; ++i)
+                   reports[i] = run_plan_job(specs[i]);
+               });
+  return reports;
+}
+
+}  // namespace bist

@@ -1,0 +1,104 @@
+#pragma once
+// Fault-tolerant pipeline execution: one circuit's full plan job — parse ->
+// sweep -> schedule -> synth -> verify — as a unit that NEVER throws, with
+// per-stage isolation, wall-clock accounting and status, cooperative
+// deadlines, and an anytime degradation ladder.
+//
+// Failure containment is the point of this layer: a malformed netlist, a
+// logic error in one stage, or an injected fault (see set_injected_failure)
+// is caught at the stage boundary, recorded in the JobReport, and the job
+// returns normally — so run_job_batch can push many circuits through one
+// WorkerPool and a poisoned job can never take its neighbors (or the pool)
+// down with it.  Deadlines degrade instead of failing: a sweep cut short
+// still yields a schedulable (possibly LFSR-only) plan and a verified
+// wrapper, per run_mixed_sweep's anytime contract.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bist/schedule.hpp"
+#include "bist/verify.hpp"
+#include "netlist/bench_io.hpp"
+#include "tpg/sweep.hpp"
+#include "util/deadline.hpp"
+
+namespace bist {
+
+/// Everything run_plan_job needs, self-contained (the .bench text travels
+/// with the spec so the parse stage — and its failures — belong to the job).
+struct JobSpec {
+  std::string name;        ///< circuit/job name, used in reports and matching
+  std::string bench_text;  ///< .bench source; parsed inside the job
+  std::vector<std::size_t> sweep_lengths;
+  /// Mixed-scheme knobs for the sweep stage.  The `deadline` field is
+  /// ignored — deadlines are owned by the job (see below) so one Deadline
+  /// covers the whole pipeline consistently.
+  MixedTpgOptions tpg;
+  ScheduleOptions schedule;
+  BenchLimits limits;  ///< parse-stage input validation caps
+  /// Anytime deadline over the sweep stage in seconds; <= 0 = none.  When it
+  /// fires the sweep degrades (LfsrOnly/Skipped points, anytime floor) and
+  /// the job still produces a schedulable plan + verified wrapper, with
+  /// overall status DeadlineExceeded and report.degraded set.
+  double sweep_deadline_s = 0;
+  /// Whole-job wall-clock limit in seconds; <= 0 = none.  Checked at every
+  /// stage boundary and folded into the sweep's anytime deadline; a stage
+  /// that would start after expiry is not run.
+  double job_timeout_s = 0;
+  /// Optional external cancel; observed by every deadline the job creates
+  /// and polled at stage boundaries.  Not owned; may be null.
+  const CancelToken* cancel = nullptr;
+};
+
+/// One pipeline stage as it actually ran.
+struct StageReport {
+  std::string name;    ///< parse | sweep | schedule | synth | verify
+  StageStatus status;  ///< Ok, or why the stage stopped/failed/was not run
+  double seconds = 0;  ///< wall clock inside the stage
+};
+
+struct JobReport {
+  std::string name;
+  /// Overall verdict: Ok when every stage ran clean; DeadlineExceeded /
+  /// Cancelled when a deadline or cancel shaped the outcome but the pipeline
+  /// still delivered (check `degraded` and `wrapper_ok`); Error when a stage
+  /// threw — `stages` then shows exactly which one, and every later stage
+  /// carries an Error status saying it was not run.
+  StageStatus status;
+  bool degraded = false;    ///< plan came from the LfsrOnly anytime tier
+  bool wrapper_ok = false;  ///< verify stage ran and the wrapper checked out
+  std::vector<StageReport> stages;  ///< in pipeline order, stages entered or
+                                    ///< explicitly skipped at a boundary
+  MixedSweepResult sweep;   ///< valid once the sweep stage succeeded
+  BistPlan plan;            ///< valid once the schedule stage succeeded
+  WrapperVerification verification;  ///< valid once the verify stage ran
+  std::string wrapper_bench;  ///< write_bench of the wrapper; empty if unbuilt
+  double seconds = 0;         ///< whole-job wall clock
+};
+
+/// Run the five-stage pipeline for one circuit.  NEVER throws: every stage
+/// body is exception-isolated and failures are reported in the returned
+/// JobReport.  Deterministic result payloads for a given spec (timings and
+/// deadline-shaped outcomes excepted).
+JobReport run_plan_job(const JobSpec& spec);
+
+/// Run many jobs over one WorkerPool (resolve_threads semantics; grain 1 —
+/// per-circuit cost is heavily skewed).  Reports land in spec order.  A
+/// failing job is contained by run_plan_job's no-throw contract, so one bad
+/// circuit never poisons its neighbors or the pool.
+std::vector<JobReport> run_job_batch(std::span<const JobSpec> specs,
+                                     unsigned threads);
+
+/// Fault-injection hook for the containment test suite.  After
+/// set_injected_failure("sweep", "c880"), the sweep stage of any job named
+/// "c880" throws std::runtime_error at entry; every other job and stage is
+/// untouched.  Empty circuit matches every job.  The hook is process-global
+/// and sticky until cleared; it is inert (one relaxed atomic load per stage)
+/// when unset.  Test-only, but always compiled so release builds exercise
+/// the same code path.
+void set_injected_failure(std::string stage, std::string circuit);
+void clear_injected_failure();
+
+}  // namespace bist

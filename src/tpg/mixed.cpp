@@ -1,12 +1,23 @@
 #include "tpg/mixed.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "tpg/lfsr.hpp"
 #include "tpg/mixed_phases.hpp"
 #include "util/wallclock.hpp"
 
 namespace bist {
+
+std::string_view point_state_name(PointState s) {
+  switch (s) {
+    case PointState::Complete: return "complete";
+    case PointState::LfsrOnly: return "lfsr_only";
+    case PointState::Skipped: return "skipped";
+  }
+  return "?";
+}
+
 namespace mixed_phase {
 
 BitVec fill_cube(std::span<const Ternary> cube, FillBits& bits) {
@@ -111,6 +122,12 @@ void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
         ++r.aborted;
         r.aborted_faults.push_back(fsim.faults()[tail[i]]);
         break;
+      case PodemStatus::Cancelled:
+        // Callers must downgrade the point (LfsrOnly) instead of handing a
+        // cut-off search to the back end — a Cancelled slot carries no
+        // verdict and must not be counted under any bucket.
+        throw std::logic_error(
+            "topoff_phases: cancelled PODEM verdict reached the back end");
     }
   }
   r.topoff_before_compaction = r.topoff.size();
@@ -136,8 +153,13 @@ void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
     }
     FaultSimulator tailsim(k, std::move(tail_faults),
                            r.lfsr_result.total_faults, std::move(tail_w));
+    // The back end always runs to completion (its work is bounded by the
+    // top-off set): a deadline on opt.fsim must not silently truncate the
+    // accounting pass, or the point would claim a coverage it cannot prove.
+    FaultSimOptions acct = opt.fsim;
+    acct.deadline = nullptr;
     const FaultSimResult tr =
-        tailsim.run(pack_all(r.topoff, k.inputs().size()), opt.fsim);
+        tailsim.run(pack_all(r.topoff, k.inputs().size()), acct);
     topoff_detected = tr.detected;
     topoff_detected_weight = tr.detected_weight;
   }
@@ -154,6 +176,15 @@ void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
   r.compact_seconds += seconds_since(t1);
 }
 
+void finish_lfsr_only(MixedSchemeResult& r, StageStatus why) {
+  const FaultSimResult& lr = r.lfsr_result;
+  r.tail_faults = lr.sim_faults - lr.detected;
+  r.final_coverage = r.lfsr_coverage;
+  r.final_coverage_weighted = r.lfsr_coverage_weighted;
+  r.state = PointState::LfsrOnly;
+  r.status = std::move(why);
+}
+
 }  // namespace mixed_phase
 
 MixedSchemeResult run_mixed_tpg(const SimKernel& k, const MixedTpgOptions& opt) {
@@ -166,19 +197,29 @@ MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
                                 const FaultSimResult* lfsr_result) {
   MixedSchemeResult r;
   const std::size_t width = k.inputs().size();
+  const Deadline* dl = opt.deadline;
 
   // --- Phase 1: pseudo-random LFSR patterns -------------------------------
   const auto t0 = WallClock::now();
   if (lfsr_result) {
     r.lfsr_result = *lfsr_result;
   } else {
+    FaultSimOptions fo = opt.fsim;
+    if (dl) fo.deadline = dl;  // scheme-level deadline reaches the hot loop
     Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
-    r.lfsr_result = fsim.run(lfsr.blocks(width, opt.lfsr_patterns), opt.fsim);
+    r.lfsr_result = fsim.run(lfsr.blocks(width, opt.lfsr_patterns), fo);
     r.lfsr_seconds = seconds_since(t0);
   }
   r.lfsr_patterns = r.lfsr_result.patterns;
   r.lfsr_coverage = r.lfsr_result.final_coverage();
   r.lfsr_coverage_weighted = r.lfsr_result.final_coverage_weighted();
+  if (!r.lfsr_result.status.ok()) {
+    // Truncated pseudo-random phase: everything computed so far is the
+    // exact prefix run; stop here as a degraded LFSR-only point at the
+    // length that actually ran.
+    mixed_phase::finish_lfsr_only(r, r.lfsr_result.status);
+    return r;
+  }
 
   // LFSR-resistant faults, ascending sim-fault indices.
   const std::vector<std::uint32_t> tail =
@@ -190,11 +231,28 @@ MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
   tail_faults.reserve(tail.size());
   for (const std::uint32_t idx : tail) tail_faults.push_back(fsim.faults()[idx]);
   PodemBatch batch(k, opt.podem_threads);
-  const std::vector<PodemResult> verdicts =
-      batch.generate(tail_faults, opt.podem);
+  PodemOptions po = opt.podem;
+  if (dl) po.deadline = dl;
+  const std::vector<PodemResult> verdicts = batch.generate(tail_faults, po);
   r.podem_seconds = seconds_since(t1);
+  const bool podem_cut =
+      std::any_of(verdicts.begin(), verdicts.end(), [](const PodemResult& v) {
+        return v.status == PodemStatus::Cancelled;
+      });
+  if (podem_cut) {
+    // Some searches were cut off mid-flight: their slots carry no verdict,
+    // so the whole top-off phase is withdrawn rather than emitted partially
+    // (a partial top-off could not reproduce an independent run anyway).
+    mixed_phase::finish_lfsr_only(
+        r, dl ? dl->stop_status("podem")
+              : StageStatus::cancelled("podem: verdicts cancelled"));
+    return r;
+  }
 
   // --- Phases 3+: fill, verify, compact, account --------------------------
+  // Once every verdict is in, the back end runs to completion: its work is
+  // bounded by the top-off set and the emitted point must be able to prove
+  // the coverage it claims.
   std::vector<const PodemResult*> vp(verdicts.size());
   for (std::size_t i = 0; i < verdicts.size(); ++i) vp[i] = &verdicts[i];
   mixed_phase::topoff_phases(k, fsim, tail, vp, opt, r);

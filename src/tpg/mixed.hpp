@@ -22,6 +22,7 @@
 #include "fault/podem.hpp"
 #include "sim/kernel.hpp"
 #include "util/bitvec.hpp"
+#include "util/deadline.hpp"
 
 namespace bist {
 
@@ -41,7 +42,24 @@ struct MixedTpgOptions {
   std::uint64_t fill_seed = 0x5EEDF111;  ///< X-fill RNG seed for test cubes
   bool compact = true;           ///< reverse-order compaction of the top-off set
   bool verify_patterns = true;   ///< fault-sim check of every emitted pattern
+  /// Cooperative deadline/cancel for the whole scheme, threaded into the
+  /// fault-sim pass (per block group) and PODEM (per decision, per fault).
+  /// When it fires, the run degrades instead of failing: see
+  /// MixedSchemeResult::state.  nullptr = never stops.
+  const Deadline* deadline = nullptr;
 };
+
+/// How much of a mixed-scheme evaluation actually ran — the anytime ladder
+/// the scheduler selects over when a deadline cuts a sweep short.
+enum class PointState : std::uint8_t {
+  Complete,  ///< full pipeline: LFSR phase + PODEM top-off + compaction
+  LfsrOnly,  ///< LFSR phase finished but the top-off did not: coverage and
+             ///< tail are exact for the pseudo-random phase alone, topoff
+             ///< is empty — a valid (degraded) hardware point
+  Skipped,   ///< nothing usable ran; every data field is meaningless
+};
+
+std::string_view point_state_name(PointState s);
 
 struct MixedSchemeResult {
   std::size_t lfsr_patterns = 0;
@@ -77,6 +95,13 @@ struct MixedSchemeResult {
   double lfsr_seconds = 0.0;
   double podem_seconds = 0.0;
   double compact_seconds = 0.0;
+  /// Anytime ladder position (Complete unless a deadline/cancel fired) and
+  /// why a non-Complete state was reached.  For a Complete point `status`
+  /// is Ok and every field is bit-identical to an undeadlined run; for
+  /// LfsrOnly the lfsr_* fields and final_coverage (== lfsr_coverage) are
+  /// exact and topoff is empty; for Skipped nothing is valid.
+  PointState state = PointState::Complete;
+  StageStatus status;
 };
 
 /// Run the mixed scheme on a compiled circuit.  Deterministic for a given

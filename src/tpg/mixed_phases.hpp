@@ -74,4 +74,12 @@ void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
                    std::span<const PodemResult* const> verdicts,
                    const MixedTpgOptions& opt, MixedSchemeResult& r);
 
+/// Downgrade a result whose pseudo-random phase ran (possibly truncated) but
+/// whose top-off did not: requires the lfsr_* fields to be filled in; sets
+/// tail_faults, copies the LFSR coverage into the final coverage (an empty
+/// top-off adds nothing), and marks the point LfsrOnly with `why` as the
+/// reason.  The result is a valid degraded hardware point — the coverage it
+/// claims is exactly what the pseudo-random phase proved.
+void finish_lfsr_only(MixedSchemeResult& r, StageStatus why);
+
 }  // namespace bist::mixed_phase

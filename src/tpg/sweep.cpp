@@ -28,6 +28,7 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
   const std::size_t lmax = *std::max_element(lengths.begin(), lengths.end());
 
   // --- One LFSR fault-sim pass amortized over every candidate length ------
+  const Deadline* dl = opt.deadline;
   FaultSimResult own_full;
   if (full) {
     if (full->patterns < lmax || full->first_detected.size() != fsim.faults().size())
@@ -35,8 +36,10 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
           "run_mixed_sweep: supplied LFSR result does not cover the sweep");
   } else {
     const auto t0 = WallClock::now();
+    FaultSimOptions fo = opt.fsim;
+    if (dl) fo.deadline = dl;
     Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
-    own_full = fsim.run(lfsr.blocks(width, lmax), opt.fsim);
+    own_full = fsim.run(lfsr.blocks(width, lmax), fo);
     sr.stats.lfsr_seconds = seconds_since(t0);
     full = &own_full;
   }
@@ -58,8 +61,31 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
   by_order.reserve(order.size());
   for (const std::size_t len : order) {
     MixedSchemeResult r;
-    r.lfsr_result = fsim.prefix_result(*full, len);
     r.lfsr_patterns = len;
+
+    // Anytime check, once per sweep point.  A point whose exact LFSR prefix
+    // exists (len within the patterns the shared pass actually simulated)
+    // degrades to LfsrOnly — its pseudo-random data is bit-identical to an
+    // uninterrupted run; a point beyond the truncated pass has no valid data
+    // at all and is Skipped.
+    if ((dl && dl->should_stop()) || !full->status.ok()) {
+      const StageStatus why =
+          dl ? dl->stop_status("mixed_sweep") : full->status;
+      if (len <= full->patterns) {
+        r.lfsr_result = fsim.prefix_result(*full, len);
+        r.lfsr_result.status = StageStatus{};  // the prefix itself is exact
+        r.lfsr_coverage = r.lfsr_result.final_coverage();
+        r.lfsr_coverage_weighted = r.lfsr_result.final_coverage_weighted();
+        mixed_phase::finish_lfsr_only(r, why);
+      } else {
+        r.state = PointState::Skipped;
+        r.status = why;
+      }
+      by_order.push_back(std::move(r));
+      continue;
+    }
+
+    r.lfsr_result = fsim.prefix_result(*full, len);
     r.lfsr_coverage = r.lfsr_result.final_coverage();
     r.lfsr_coverage_weighted = r.lfsr_result.final_coverage_weighted();
     const std::vector<std::uint32_t> tail = full->tail_at(len);
@@ -74,14 +100,31 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
         miss.push_back(idx);
         miss_faults.push_back(fsim.faults()[idx]);
       }
-    std::vector<PodemResult> fresh = batch.generate(miss_faults, opt.podem);
+    PodemOptions po = opt.podem;
+    if (dl) po.deadline = dl;
+    std::vector<PodemResult> fresh = batch.generate(miss_faults, po);
+    bool cut = false;
     for (std::size_t j = 0; j < miss.size(); ++j) {
+      // A Cancelled slot carries no verdict: never cache it — a later
+      // (shorter) point must not inherit a hole where a real verdict
+      // belongs.
+      if (fresh[j].status == PodemStatus::Cancelled) {
+        cut = true;
+        continue;
+      }
       cache[miss[j]] = std::move(fresh[j]);
       cached[miss[j]] = 1;
     }
     sr.stats.podem_calls += miss.size();
     sr.stats.podem_cache_hits += tail.size() - miss.size();
     r.podem_seconds = seconds_since(t1);
+    if (cut) {
+      mixed_phase::finish_lfsr_only(
+          r, dl ? dl->stop_status("mixed_sweep")
+                : StageStatus::cancelled("mixed_sweep: podem cancelled"));
+      by_order.push_back(std::move(r));
+      continue;
+    }
 
     std::vector<const PodemResult*> vp(tail.size());
     for (std::size_t i = 0; i < tail.size(); ++i) vp[i] = &cache[tail[i]];
@@ -90,6 +133,42 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
     sr.stats.compact_seconds += r.compact_seconds;
     by_order.push_back(std::move(r));
   }
+
+  // --- Anytime floor -------------------------------------------------------
+  // If the deadline beat even the shared pass (every point Skipped), run a
+  // bounded undeadlined fault-sim at the SMALLEST candidate length so the
+  // sweep still returns one exact LfsrOnly point — a scheduler can select it
+  // and a wrapper built from it passes verification.  This floor costs one
+  // fault-sim pass of min(lengths) patterns, the cheapest point requested.
+  const bool any_usable =
+      std::any_of(by_order.begin(), by_order.end(),
+                  [](const MixedSchemeResult& p) {
+                    return p.state != PointState::Skipped;
+                  });
+  if (!any_usable) {
+    const std::size_t lmin = order.back();  // descending order -> min length
+    MixedSchemeResult& r = by_order.back();
+    const StageStatus why = r.status;
+    r = MixedSchemeResult{};
+    r.lfsr_patterns = lmin;
+    FaultSimOptions fo = opt.fsim;
+    fo.deadline = nullptr;
+    Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
+    const auto t0 = WallClock::now();
+    r.lfsr_result = fsim.run(lfsr.blocks(width, lmin), fo);
+    r.lfsr_seconds = seconds_since(t0);
+    r.lfsr_coverage = r.lfsr_result.final_coverage();
+    r.lfsr_coverage_weighted = r.lfsr_result.final_coverage_weighted();
+    mixed_phase::finish_lfsr_only(r, why);
+  }
+
+  // Sweep-level verdict: the first non-Complete point's reason (points
+  // before it are bit-identical to an uninterrupted sweep).
+  for (const MixedSchemeResult& p : by_order)
+    if (p.state != PointState::Complete) {
+      sr.status = p.status;
+      break;
+    }
 
   // Hand results back in the caller's length order (duplicates share a copy).
   sr.points.reserve(sr.lengths.size());

@@ -57,6 +57,11 @@ struct MixedSweepResult {
   std::vector<MixedSchemeResult> points; ///< parallel to `lengths`
   std::size_t width = 0;  ///< pattern width (= circuit PI count) of the run
   MixedSweepStats stats;
+  /// Ok when every point ran to completion; otherwise the first stop reason
+  /// (deadline/cancel) encountered.  Individual points carry their own
+  /// state/status — a non-Ok sweep still holds every Complete point computed
+  /// before the stop, bit-identical to an uninterrupted run.
+  StageStatus status;
 };
 
 /// Evaluate the mixed scheme at every length in `lengths` (any order,
@@ -66,6 +71,16 @@ struct MixedSweepResult {
 /// max(lengths) patterns, and the shared pass is skipped (stats.lfsr_seconds
 /// stays 0).  Deterministic for a given kernel + options at every thread
 /// count.
+///
+/// Anytime contract under opt.deadline: the deadline is polled per sweep
+/// point and threaded into the shared LFSR pass and every PODEM batch.  When
+/// it fires, points already finished stay Complete (bit-identical to an
+/// uninterrupted sweep), the in-flight and remaining points degrade to
+/// LfsrOnly where their exact LFSR prefix is available and Skipped where it
+/// is not, and if NOTHING usable survived (deadline beat even the shared
+/// pass) a bounded undeadlined fault-sim floor at min(lengths) produces one
+/// exact LfsrOnly point — the sweep always returns at least one point a
+/// scheduler can select and a wrapper can prove.
 MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
                                  std::span<const std::size_t> lengths,
                                  const MixedTpgOptions& opt = {},

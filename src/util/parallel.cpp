@@ -30,9 +30,23 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void WorkerPool::invoke(const std::function<void(unsigned)>& fn, unsigned wid) {
+  // Exception containment: a throwing fn must not tear down a pool thread
+  // (std::terminate) or wedge the region.  The first exception to land is
+  // kept, the rest of the region runs to completion, and run() rethrows on
+  // the calling thread once everyone has joined — so the pool is always
+  // reusable after a failed region.
+  try {
+    fn(wid);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(m_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
 void WorkerPool::run(const std::function<void(unsigned)>& fn) {
   if (n_ == 1) {
-    fn(0);
+    fn(0);  // single-threaded: plain call, exceptions propagate directly
     return;
   }
   {
@@ -42,10 +56,16 @@ void WorkerPool::run(const std::function<void(unsigned)>& fn) {
     ++generation_;
   }
   cv_start_.notify_all();
-  fn(0);
-  std::unique_lock<std::mutex> lock(m_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
-  job_ = nullptr;
+  invoke(fn, 0);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void WorkerPool::thread_main(unsigned wid) {
@@ -59,7 +79,7 @@ void WorkerPool::thread_main(unsigned wid) {
       seen = generation_;
       job = job_;
     }
-    (*job)(wid);
+    invoke(*job, wid);
     {
       std::lock_guard<std::mutex> lock(m_);
       if (--pending_ == 0) cv_done_.notify_one();

@@ -43,11 +43,15 @@ class WorkerPool {
   unsigned workers() const { return n_; }
 
   /// Execute fn(wid) for wid in [0, workers()); returns after all complete.
-  /// fn must not throw.  Not reentrant.
+  /// fn may throw: the first exception (in completion order) is captured,
+  /// the region still joins cleanly — every other worker finishes its fn
+  /// call — and the exception is rethrown on the calling thread.  The pool
+  /// remains fully usable afterwards.  Not reentrant.
   void run(const std::function<void(unsigned)>& fn);
 
  private:
   void thread_main(unsigned wid);
+  void invoke(const std::function<void(unsigned)>& fn, unsigned wid);
 
   unsigned n_;
   std::vector<std::thread> threads_;
@@ -58,6 +62,9 @@ class WorkerPool {
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool stop_ = false;
+  /// First exception thrown by any worker of the current region; rethrown
+  /// (and cleared) by run() after the region joins.
+  std::exception_ptr error_;
 };
 
 /// Dynamic work distribution over a pool: workers repeatedly grab
@@ -70,6 +77,13 @@ class WorkerPool {
 /// cursor traffic when items are uniform and cheap.  The work *content* of
 /// each index is fixed by the caller, so index-addressed results are
 /// independent of the worker/chunk assignment.
+///
+/// If fn throws, the throwing worker stops claiming chunks (its claimed
+/// chunk may be partially done and later chunks may be skipped entirely);
+/// the other workers drain the remaining range, and the first exception is
+/// rethrown on the calling thread per WorkerPool::run's contract.  Callers
+/// that need completeness must treat a throwing parallel_for as a failed
+/// region, not a partial result.
 template <class Fn>
 void parallel_for(WorkerPool& pool, std::size_t n, std::size_t grain,
                   Fn&& fn) {
