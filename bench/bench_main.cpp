@@ -48,12 +48,23 @@
 // the JSON carries `state`/`status`/`degraded` fields so downstream tooling
 // can gate on them.
 //
+// The compressed test-data architecture is on by default: top-off cubes are
+// stored as LFSR reseeding schedules (seed ROM) with decoded fallback rows,
+// and a MISR compacts the CUT responses into one signature checked on-chip.
+// --no-compress selects the legacy fully decoded ROM + per-pattern-compare
+// architecture; the bist_plan section then reports rom_bits only and the
+// compression fields are zero.  Compressed runs report seed_rom_bits /
+// misr_bits / fallback_rows, the compression ratio against the decoded
+// encoding of the same top-off set, and the empirical aliasing audit
+// (aliasing_escapes must be 0 for wrapper_matches_plan to hold).
+//
 // Usage: bench_fault_sim [--patterns N] [--reps N] [--threads N] [--width W]
 //                        [--circuits c17,c6288s,...]
 //                        [--podem-backtracks N] [--no-mixed]
 //                        [--mixed-reps N] [--no-sweep] [--sweep-reps N]
 //                        [--sweep-lengths a,b,c]
-//                        [--no-bist] [--budget N] [--wrapper-dir DIR]
+//                        [--no-bist] [--no-compress] [--budget N]
+//                        [--wrapper-dir DIR]
 //                        [--deadline-ms D] [--job-timeout-ms J]
 //                        [--out FILE] [--plot]
 
@@ -235,6 +246,7 @@ int run_bench(int argc, char** argv) {
   int sweep_reps = 2;
   std::vector<std::size_t> sweep_lengths;  // empty = derive from --patterns
   bool run_bist = true;
+  bool compress = true;            // compressed test data (seeds + MISR)
   std::size_t budget = 0;          // scheduler test-time budget, 0 = none
   std::string wrapper_dir = ".";   // where wrapper_<circuit>.bench lands
   double deadline_ms = 0;          // anytime deadline per timed section, 0 = off
@@ -273,6 +285,8 @@ int run_bench(int argc, char** argv) {
       sweep_reps = std::stoi(next());
     } else if (a == "--no-bist") {
       run_bist = false;
+    } else if (a == "--no-compress") {
+      compress = false;
     } else if (a == "--budget") {
       budget = std::stoul(next());
     } else if (a == "--wrapper-dir") {
@@ -296,7 +310,8 @@ int run_bench(int argc, char** argv) {
                    "[--threads N] [--width W] [--circuits a,b] "
                    "[--podem-backtracks N] [--no-mixed] [--mixed-reps N] "
                    "[--no-sweep] [--sweep-reps N] [--sweep-lengths a,b,c] "
-                   "[--no-bist] [--budget N] [--wrapper-dir DIR] "
+                   "[--no-bist] [--no-compress] [--budget N] "
+                   "[--wrapper-dir DIR] "
                    "[--deadline-ms D] [--job-timeout-ms J] "
                    "[--out FILE] [--plot]\n";
       return 2;
@@ -410,6 +425,7 @@ int run_bench(int argc, char** argv) {
     mopt.fsim = fopt;
     mopt.podem.backtrack_limit = podem_backtracks;
     mopt.podem_threads = threads;
+    mopt.compress = compress;
 
     bist::MixedSchemeResult mr;
     double msecs = 0;
@@ -565,6 +581,23 @@ int run_bench(int argc, char** argv) {
                 << bist::format_fixed(sched_secs + synth_secs + selfsim_secs, 2)
                 << "s)" << (plan.degraded ? " [DEGRADED: LFSR-only tier]" : "")
                 << "\n";
+      if (plan.comp.enabled) {
+        const std::uint64_t decoded =
+            std::uint64_t(plan.topoff_patterns) * n.input_count();
+        const std::uint64_t stored =
+            plan.rom_bits + plan.comp.seed_rom_bits();
+        std::cout << name << ": compressed data " << plan.comp.seeds.size()
+                  << " seeds (" << plan.comp.seed_rom_bits()
+                  << " seed-ROM bits) + " << plan.comp.fallback_rows()
+                  << " fallback rows (" << plan.rom_bits
+                  << " decoded bits) vs " << decoded
+                  << " bits fully decoded (x"
+                  << bist::format_fixed(
+                         stored ? double(decoded) / double(stored) : 0, 2)
+                  << "), MISR K=" << plan.comp.misr.degree << " aliasing "
+                  << wv.aliasing.escapes << "/" << wv.aliasing.detected_checked
+                  << " escapes\n";
+      }
     }
 
     if (!first) js << ",\n";
@@ -636,6 +669,8 @@ int run_bench(int argc, char** argv) {
          << "        \"lfsr_seconds\": " << json_num(mr.lfsr_seconds) << ",\n"
          << "        \"podem_seconds\": " << json_num(mr.podem_seconds) << ",\n"
          << "        \"compact_seconds\": " << json_num(mr.compact_seconds)
+         << ",\n"
+         << "        \"solve_seconds\": " << json_num(mr.solve_seconds)
          << "\n      }";
     }
     if (mixed && sweep) {
@@ -667,6 +702,8 @@ int run_bench(int argc, char** argv) {
          << ",\n"
          << "        \"compact_seconds\": "
          << json_num(sw.stats.compact_seconds) << ",\n"
+         << "        \"solve_seconds\": " << json_num(sw.stats.solve_seconds)
+         << ",\n"
          << "        \"status\": "
          << json_str(std::string(bist::stage_code_name(sw.status.code)))
          << ",\n"
@@ -702,6 +739,28 @@ int run_bench(int argc, char** argv) {
          << "        \"rom_bits\": " << plan.rom_bits << ",\n"
          << "        \"state_bits\": " << plan.area.state_bits << ",\n"
          << "        \"area_bits\": " << plan.area.area_bits() << ",\n"
+         << "        \"compress\": " << (plan.comp.enabled ? "true" : "false")
+         << ",\n"
+         << "        \"seed_rom_bits\": " << plan.area.seed_rom_bits << ",\n"
+         << "        \"misr_bits\": " << plan.area.misr_bits << ",\n"
+         << "        \"seed_count\": " << plan.comp.seeds.size() << ",\n"
+         << "        \"fallback_rows\": " << plan.comp.fallback_rows() << ",\n"
+         << "        \"decoded_rom_bits\": "
+         << std::uint64_t(plan.topoff_patterns) * n.input_count() << ",\n"
+         << "        \"compression_ratio\": "
+         << json_num([&] {
+              const double stored =
+                  double(plan.rom_bits) + double(plan.area.seed_rom_bits);
+              const double decoded =
+                  double(plan.topoff_patterns) * double(n.input_count());
+              return stored > 0 ? decoded / stored : 0.0;
+            }())
+         << ",\n"
+         << "        \"aliasing_escapes\": " << wv.aliasing.escapes << ",\n"
+         << "        \"aliasing_checked\": " << wv.aliasing.detected_checked
+         << ",\n"
+         << "        \"aliasing_bound\": " << json_num(wv.aliasing.bound)
+         << ",\n"
          << "        \"knee_distance\": " << json_num(plan.knee_distance)
          << ",\n"
          << "        \"final_coverage\": " << json_num(plan.final_coverage)
@@ -709,14 +768,18 @@ int run_bench(int argc, char** argv) {
          << "        \"area_estimate_ge\": {\"lfsr\": "
          << json_num(plan.area.lfsr)
          << ", \"rom\": " << json_num(plan.area.rom)
+         << ", \"seed_rom\": " << json_num(plan.area.seed_rom)
          << ", \"controller\": " << json_num(plan.area.controller)
          << ", \"mux\": " << json_num(plan.area.mux)
+         << ", \"misr\": " << json_num(plan.area.misr)
          << ", \"total\": " << json_num(plan.area.total()) << "},\n"
          << "        \"area_actual_ge\": {\"lfsr\": "
          << json_num(syn.actual.lfsr)
          << ", \"rom\": " << json_num(syn.actual.rom)
+         << ", \"seed_rom\": " << json_num(syn.actual.seed_rom)
          << ", \"controller\": " << json_num(syn.actual.controller)
          << ", \"mux\": " << json_num(syn.actual.mux)
+         << ", \"misr\": " << json_num(syn.actual.misr)
          << ", \"total\": " << json_num(syn.actual.total()) << "},\n"
          << "        \"wrapper_gates\": " << syn.wrapper.gate_count() << ",\n"
          << "        \"bist_gates\": " << syn.bist_gates << ",\n"
@@ -746,6 +809,10 @@ int run_bench(int argc, char** argv) {
          << (wv.topoff_identical ? "true" : "false") << ",\n"
          << "        \"coverage_identical\": "
          << (wv.coverage_identical ? "true" : "false") << ",\n"
+         << "        \"seeds_identical\": "
+         << (wv.seeds_identical ? "true" : "false") << ",\n"
+         << "        \"signature_identical\": "
+         << (wv.signature_identical ? "true" : "false") << ",\n"
          << "        \"wrapper_matches_plan\": "
          << (wv.ok() ? "true" : "false") << ",\n"
          << "        \"schedule_seconds\": " << json_num(sched_secs) << ",\n"

@@ -1,6 +1,7 @@
 #include "bist/area.hpp"
 
 #include <bit>
+#include <map>
 
 namespace bist {
 
@@ -93,6 +94,113 @@ BistArea estimate_bist_area(const AreaModel& m, unsigned lfsr_degree,
     a.mux += phase_or;  // bist_det = OR of the row selects
   } else {
     a.mux = double(w) * m.buf1;
+  }
+  return a;
+}
+
+BistArea estimate_bist_area(const AreaModel& m, unsigned lfsr_degree,
+                            std::uint64_t lfsr_taps, std::size_t cut_inputs,
+                            std::span<const BitVec> topoff,
+                            std::size_t lfsr_patterns,
+                            const CompressedTopoff& comp) {
+  if (!comp.enabled)
+    return estimate_bist_area(m, lfsr_degree, lfsr_taps, cut_inputs, topoff,
+                              lfsr_patterns);
+  BistArea a;
+  const std::size_t w = cut_inputs;
+  const std::size_t t = topoff.size();
+  const std::size_t total = lfsr_patterns + t;
+  const std::size_t c = counter_width(total);
+  const unsigned D = lfsr_degree;
+  const unsigned K = comp.misr.degree;
+  const std::size_t fb_n = comp.fallback_rows();
+
+  a.rom_bits = fb_n * w;  // only the fallback rows stay fully decoded
+  a.seed_rom_bits = comp.seed_rom_bits();
+  a.misr_bits = K;
+  a.state_bits = D + c + K;
+
+  // LFSR core: unchanged from the legacy architecture.
+  const unsigned taps = static_cast<unsigned>(std::popcount(lfsr_taps));
+  const double fb = taps >= 2 ? double(taps - 1) * m.xor2 : m.buf1;
+  a.lfsr = double(D) * m.flipflop + double(w) * fb + double(D) * m.buf1;
+
+  // Controller: counter + row decodes exactly as legacy (every row needs its
+  // decode: seeded rows feed the load selects and seed planes, fallback rows
+  // the ROM plane), plus the per-offset reseed load selects.
+  a.controller = double(c) * m.flipflop + m.not1 +
+                 double(c > 0 ? c - 1 : 0) * m.xor2 +
+                 double(c > 2 ? c - 2 : 0) * m.and2 + double(c) * m.buf1;
+  if (t > 0) {
+    const double decode = c >= 2 ? double(c - 1) * m.and2 : m.buf1;
+    std::uint64_t inv_mask = 0;
+    const std::uint64_t cmask =
+        c >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << c) - 1);
+    for (std::size_t j = 0; j < t; ++j)
+      inv_mask |= ~std::uint64_t(lfsr_patterns + j) & cmask;
+    a.controller += double(t) * decode +
+                    double(std::popcount(inv_mask)) * m.not1;
+  }
+
+  // Reseeding datapath: per distinct load offset, a select (OR of the rows
+  // reseeding there when >= 2, plus its inverter) and a D-bit load mux into
+  // the unrolled chain; the seed columns (OR over the rows whose seed bit is
+  // set) are the seed-ROM plane.
+  std::map<std::uint32_t, std::vector<const SeedEvent*>> by_offset;
+  for (const SeedEvent& e : comp.seeds) by_offset[e.offset].push_back(&e);
+  for (const auto& [off, evs] : by_offset) {
+    (void)off;
+    if (evs.size() >= 2)
+      a.controller += double(evs.size() - 1) * m.and2;  // load select OR
+    a.controller += m.not1;                             // select inverter
+    for (unsigned bb = 0; bb < D; ++bb) {
+      std::size_t set = 0;
+      for (const SeedEvent* e : evs) set += (e->seed >> bb) & 1;
+      if (set == 0) {
+        a.mux += m.and2;  // keep leg only: bit is forced 0 during a load
+      } else {
+        a.mux += m.and2 + m.and2;  // keep leg + merge OR
+        if (set >= 2) a.seed_rom += double(set - 1) * m.and2;
+      }
+    }
+  }
+
+  // Decoded fallback rows: ROM OR plane over fallback rows only, and the
+  // phase mux gated by the OR of the fallback-row decodes.  With no fallback
+  // rows the CUT inputs ride the chain taps directly (one buffer each, the
+  // same shape as a zero-top-off legacy wrapper).
+  std::vector<std::size_t> col_rows(w, 0);
+  for (std::size_t j = 0; j < t; ++j)
+    if (comp.fallback[j])
+      for (std::size_t i = 0; i < w; ++i) col_rows[i] += topoff[j].get(i);
+  for (std::size_t i = 0; i < w; ++i)
+    if (col_rows[i] >= 2) a.rom += double(col_rows[i] - 1) * m.and2;
+  if (fb_n > 0) {
+    a.mux += m.not1;
+    a.mux += fb_n >= 2 ? double(fb_n - 1) * m.and2 : m.buf1;  // bist_det
+    for (std::size_t i = 0; i < w; ++i)
+      a.mux += col_rows[i] ? m.and2 + m.and2 : m.and2;
+  } else {
+    a.mux += double(w) * m.buf1;
+  }
+
+  // MISR: state FFs, one feedback parity per cycle, one injection XOR per
+  // stage class (outputs fold per comp.misr.cls — the audited assignment),
+  // and the golden-signature comparator (inverters on the zero bits, one
+  // K-literal AND).
+  if (K > 0) {
+    a.misr = double(K) * m.flipflop;
+    const unsigned kt = static_cast<unsigned>(std::popcount(comp.misr.taps));
+    a.misr += kt >= 2 ? double(kt - 1) * m.xor2 : m.buf1;
+    std::vector<std::size_t> cls_n(K, 0);
+    for (std::size_t o = 0; o < comp.cut_outputs; ++o)
+      ++cls_n[comp.misr.cls(o)];
+    for (unsigned cc = 0; cc < K; ++cc)
+      a.misr += cls_n[cc] > 0 ? double(cls_n[cc]) * m.xor2 : m.buf1;
+    const std::uint64_t kmask =
+        K >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << K) - 1);
+    a.misr += double(std::popcount(~comp.golden & kmask)) * m.not1;
+    a.misr += K >= 2 ? double(K - 1) * m.and2 : m.buf1;
   }
   return a;
 }

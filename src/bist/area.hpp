@@ -1,7 +1,8 @@
 #pragma once
 // Gate-cost area model for the mixed-scheme BIST hardware: the maximal-length
-// LFSR, the top-off pattern ROM realized as decoded logic, the phase
-// controller (cycle counter + row decode) and the per-input pattern muxing.
+// LFSR, the top-off pattern storage (decoded-logic ROM rows and/or reseeding
+// seed ROM), the phase controller (cycle counter + row decode + reseed
+// selects), the per-input pattern muxing, and the MISR response compactor.
 //
 // Costs are expressed in gate equivalents (GE) with pluggable per-function
 // weights (AreaModel), so reseeding-style architectures with different
@@ -15,17 +16,21 @@
 //                         enough to evaluate at every sweep point; it prices
 //                         exactly the structure synthesize_bist_wrapper()
 //                         emits (the differential test asserts the totals
-//                         reconcile per block)
+//                         reconcile per block).  Two overloads: the legacy
+//                         fully decoded ROM architecture, and the compressed
+//                         architecture (LFSR reseeding + MISR) driven by a
+//                         CompressedTopoff.
 //
-// Storage is tracked separately from logic: `rom_bits` (stored deterministic
-// pattern bits = patterns x width) and `state_bits` (LFSR + counter flip-
-// flops) sum to `area_bits()`, the quantity the scheduler's weighted
-// objective trades against test time.
+// Storage is tracked separately from logic: `rom_bits` (decoded pattern bits
+// actually stored), `seed_rom_bits` (reseeding seeds x LFSR degree) and
+// `state_bits` (LFSR + counter + MISR flip-flops) sum to `area_bits()`, the
+// quantity the scheduler's weighted objective trades against test time.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "bist/compress.hpp"
 #include "netlist/netlist.hpp"
 #include "util/bitvec.hpp"
 
@@ -56,25 +61,52 @@ std::size_t counter_width(std::size_t total_cycles);
 /// Area breakdown of one BIST configuration, in GE plus storage-bit counts.
 struct BistArea {
   double lfsr = 0;        ///< state FFs + per-pattern feedback XOR networks
-  double rom = 0;         ///< decoded-logic ROM OR plane
-  double controller = 0;  ///< counter FFs + increment + row decode
-  double mux = 0;         ///< per-CUT-input pattern muxing
-  std::size_t rom_bits = 0;    ///< stored pattern bits (patterns x width)
-  std::size_t state_bits = 0;  ///< LFSR degree + counter width
+  double rom = 0;         ///< decoded-logic ROM OR plane (under compression:
+                          ///< fallback rows only)
+  double seed_rom = 0;    ///< seed-ROM OR planes (compressed mode)
+  double controller = 0;  ///< counter FFs + increment + row decode + reseed
+                          ///< load selects
+  double mux = 0;         ///< per-CUT-input pattern muxing + reseed load
+                          ///< muxes into the LFSR chain
+  double misr = 0;        ///< MISR FFs + fold XORs + signature comparator
+  /// Decoded pattern bits actually stored: patterns x width legacy; fallback
+  /// rows x width under compression.
+  std::size_t rom_bits = 0;
+  std::size_t seed_rom_bits = 0;  ///< reseeding seeds x LFSR degree
+  /// MISR degree — a reporting view of the compactor's flip-flops, already
+  /// counted inside state_bits (NOT added again by area_bits()).
+  std::size_t misr_bits = 0;
+  std::size_t state_bits = 0;  ///< LFSR degree + counter width + MISR degree
 
-  double total() const { return lfsr + rom + controller + mux; }
+  double total() const {
+    return lfsr + rom + seed_rom + controller + mux + misr;
+  }
   /// Storage bits: the scheduler's area term (a*test_time + b*area_bits).
-  std::size_t area_bits() const { return rom_bits + state_bits; }
+  std::size_t area_bits() const {
+    return rom_bits + seed_rom_bits + state_bits;
+  }
 };
 
-/// Closed-form estimate for a candidate point.  `topoff` is the point's
-/// stored pattern set (its size and set-bit count price the ROM exactly;
-/// the decode/mux terms are structural).  `lfsr_patterns` is the
-/// pseudo-random phase length (it sizes the cycle counter together with the
-/// top-off count).  Deterministic pure function of its arguments.
+/// Closed-form estimate for a candidate point, legacy fully decoded ROM
+/// architecture.  `topoff` is the point's stored pattern set (its size and
+/// set-bit count price the ROM exactly; the decode/mux terms are
+/// structural).  `lfsr_patterns` is the pseudo-random phase length (it sizes
+/// the cycle counter together with the top-off count).  Deterministic pure
+/// function of its arguments.
 BistArea estimate_bist_area(const AreaModel& m, unsigned lfsr_degree,
                             std::uint64_t lfsr_taps, std::size_t cut_inputs,
                             std::span<const BitVec> topoff,
                             std::size_t lfsr_patterns);
+
+/// Compressed-architecture overload: prices the reseeding datapath (seed-ROM
+/// OR planes, per-offset load muxes and selects), the decoded fallback rows,
+/// and the MISR (fold XORs sized by comp.cut_outputs, comparator sized by
+/// comp.golden) exactly as synthesize_bist_wrapper emits them.  Falls back
+/// to the legacy estimate when comp.enabled is false.
+BistArea estimate_bist_area(const AreaModel& m, unsigned lfsr_degree,
+                            std::uint64_t lfsr_taps, std::size_t cut_inputs,
+                            std::span<const BitVec> topoff,
+                            std::size_t lfsr_patterns,
+                            const CompressedTopoff& comp);
 
 }  // namespace bist

@@ -52,6 +52,9 @@ BistPlan schedule_bist(const MixedSweepResult& sweep, std::size_t width,
     if (!pt.topoff.empty() && pt.topoff.front().size() != width)
       throw std::invalid_argument(
           "schedule_bist: width does not match the sweep's pattern width");
+    if (pt.comp.enabled && pt.comp.degree != opt.lfsr_degree)
+      throw std::invalid_argument(
+          "schedule_bist: compression seed degree does not match lfsr_degree");
     SchedulePoint c;
     c.point_index = p;
     c.length = pt.lfsr_patterns;
@@ -59,8 +62,11 @@ BistPlan schedule_bist(const MixedSweepResult& sweep, std::size_t width,
     c.test_time = pt.lfsr_patterns + pt.topoff_patterns;
     const BistArea a =
         estimate_bist_area(opt.area, opt.lfsr_degree, taps, width, pt.topoff,
-                           pt.lfsr_patterns);
+                           pt.lfsr_patterns, pt.comp);
     c.rom_bits = a.rom_bits;
+    c.seed_rom_bits = a.seed_rom_bits;
+    c.misr_bits = a.misr_bits;
+    c.fallback_rows = pt.comp.enabled ? pt.comp.fallback_rows() : 0;
     c.area_bits = a.area_bits();
     c.cost = opt.time_weight * double(c.test_time) +
              opt.area_weight * double(c.area_bits);
@@ -85,18 +91,28 @@ BistPlan schedule_bist(const MixedSweepResult& sweep, std::size_t width,
     feas.push_back(best);
   }
 
-  // Knee of topoff_patterns(L) over the feasible candidates: normalize both
-  // axes to [0,1] over the feasible range and measure each point's distance
-  // below the chord joining the shortest and longest lengths.  Flat or
-  // two-point curves have zero chord distance everywhere; the tie-break then
-  // minimizes normalized length + ROM (for a flat curve that is simply the
+  // Knee of the stored-cost curve over the feasible candidates: normalize
+  // both axes to [0,1] over the feasible range and measure each point's
+  // distance below the chord joining the shortest and longest lengths.  The
+  // y-axis is the pattern count for legacy points and the compressed
+  // area_bits for compressed points (cost per stored pattern varies under
+  // reseeding, so the knee must see the real storage).  Flat or two-point
+  // curves have zero chord distance everywhere; the tie-break then minimizes
+  // normalized length + stored cost (for a flat curve that is simply the
   // shortest test).
+  const bool comp_knee = std::any_of(
+      cand.begin(), cand.end(), [&](const SchedulePoint& c) {
+        return sweep.points[c.point_index].comp.enabled;
+      });
+  auto stored = [&](const SchedulePoint& c) {
+    return comp_knee ? c.area_bits : c.topoff_patterns;
+  };
   const std::size_t lo = feas.front(), hi = feas.back();
   const double lspan = double(cand[hi].length) - double(cand[lo].length);
-  std::size_t tmin = cand[feas[0]].topoff_patterns, tmax = tmin;
+  std::size_t tmin = stored(cand[feas[0]]), tmax = tmin;
   for (const std::size_t i : feas) {
-    tmin = std::min(tmin, cand[i].topoff_patterns);
-    tmax = std::max(tmax, cand[i].topoff_patterns);
+    tmin = std::min(tmin, stored(cand[i]));
+    tmax = std::max(tmax, stored(cand[i]));
   }
   const double tspan = double(tmax) - double(tmin);
   auto norm_x = [&](const SchedulePoint& c) {
@@ -104,9 +120,7 @@ BistPlan schedule_bist(const MixedSweepResult& sweep, std::size_t width,
                      : 0.0;
   };
   auto norm_y = [&](const SchedulePoint& c) {
-    return tspan > 0
-               ? (double(c.topoff_patterns) - double(tmin)) / tspan
-               : 0.0;
+    return tspan > 0 ? (double(stored(c)) - double(tmin)) / tspan : 0.0;
   };
   const double y0 = norm_y(cand[lo]), y1 = norm_y(cand[hi]);
   for (const std::size_t i : feas) {
@@ -147,13 +161,14 @@ BistPlan schedule_bist(const MixedSweepResult& sweep, std::size_t width,
   plan.cost = c.cost;
   plan.knee_distance = c.knee_distance;
   plan.area = estimate_bist_area(opt.area, opt.lfsr_degree, taps, width,
-                                 pt.topoff, pt.lfsr_patterns);
+                                 pt.topoff, pt.lfsr_patterns, pt.comp);
   plan.area_model = opt.area;
   plan.lfsr_degree = opt.lfsr_degree;
   plan.lfsr_taps = taps;
   plan.lfsr_seed = opt.lfsr_seed;
   plan.width = width;
   plan.topoff = pt.topoff;
+  plan.comp = pt.comp;
   plan.lfsr_coverage = pt.lfsr_coverage;
   plan.final_coverage = pt.final_coverage;
   plan.final_coverage_weighted = pt.final_coverage_weighted;

@@ -10,11 +10,16 @@
 //
 //   KneeUnderBudget   among the candidate points whose total test time
 //                     (LFSR length + top-off patterns) fits the budget,
-//                     pick the knee of topoff_patterns(L): the point with
+//                     pick the knee of the stored-cost curve: the point with
 //                     the largest normalized distance below the chord
-//                     joining the shortest and longest candidates.  With a
-//                     degenerate (flat or two-point) curve the tie-break
-//                     minimizes normalized length + ROM, then length.
+//                     joining the shortest and longest candidates.  The
+//                     y-axis is topoff_patterns(L) for legacy points and
+//                     compressed area_bits(L) (seed ROM + fallback ROM +
+//                     state bits) for compressed points — under reseeding,
+//                     cost per stored pattern varies, so the knee can move.
+//                     With a degenerate (flat or two-point) curve the
+//                     tie-break minimizes normalized length + ROM, then
+//                     length.
 //   WeightedCost      minimize time_weight * test_time +
 //                     area_weight * area_bits (ROM bits + LFSR/counter
 //                     state bits under the area model).
@@ -59,7 +64,11 @@ struct SchedulePoint {
   std::size_t length = 0;
   std::size_t topoff_patterns = 0;
   std::size_t test_time = 0;
-  std::size_t rom_bits = 0;
+  std::size_t rom_bits = 0;       ///< decoded bits (fallback rows only when
+                                  ///< the point is compressed)
+  std::size_t seed_rom_bits = 0;  ///< reseeding seed bits (compressed)
+  std::size_t misr_bits = 0;      ///< MISR flip-flops (compressed)
+  std::size_t fallback_rows = 0;  ///< decoded top-off rows (compressed)
   std::size_t area_bits = 0;
   double cost = 0;            ///< weighted objective value
   double knee_distance = 0;   ///< normalized distance below the chord
@@ -83,6 +92,10 @@ struct BistPlan {
   std::uint64_t lfsr_seed = 0;
   std::size_t width = 0;        ///< CUT primary-input count
   std::vector<BitVec> topoff;   ///< stored patterns, application order
+  /// Compression artifacts of the chosen point (seed schedules, fallback
+  /// flags, MISR spec + golden signature); comp.enabled selects the
+  /// compressed wrapper architecture in synthesis and verification.
+  CompressedTopoff comp;
   double lfsr_coverage = 0;
   double final_coverage = 0;
   double final_coverage_weighted = 0;

@@ -1,5 +1,6 @@
 #include "bist/synth.hpp"
 
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -11,6 +12,10 @@ namespace {
 
 std::string idx_name(const char* prefix, std::size_t i) {
   return std::string(prefix) + std::to_string(i);
+}
+
+std::string pair_name(const char* prefix, std::size_t i, std::size_t j) {
+  return std::string(prefix) + std::to_string(i) + "_" + std::to_string(j);
 }
 
 }  // namespace
@@ -29,6 +34,12 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
     throw std::invalid_argument("synthesize_bist_wrapper: zero-cycle plan");
   const unsigned D = plan.lfsr_degree;
   const std::size_t C = counter_width(total);
+  const CompressedTopoff& comp = plan.comp;
+  const bool compressed = comp.enabled;
+  const unsigned K = compressed ? comp.misr.degree : 0;
+  if (compressed && comp.fallback.size() != T)
+    throw std::invalid_argument(
+        "synthesize_bist_wrapper: compression row flags do not match topoff");
 
   BistSynthResult res;
   res.counter_bits = C;
@@ -47,9 +58,20 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
   // --- state inputs --------------------------------------------------------
   for (unsigned i = 0; i < D; ++i) b.input(idx_name("bist_lfsr_s", i));
   for (std::size_t i = 0; i < C; ++i) b.input(idx_name("bist_cnt_s", i));
-  res.actual.state_bits = D + C;
+  for (unsigned i = 0; i < K; ++i) b.input(idx_name("bist_misr_s", i));
+  res.actual.state_bits = D + C + K;
+  res.actual.misr_bits = K;
   res.actual.lfsr += double(D) * m.flipflop;
   res.actual.controller += double(C) * m.flipflop;
+  res.actual.misr += double(K) * m.flipflop;
+
+  // Reseed events grouped by unroll offset (rows within an offset keep seed
+  // order, i.e. ascending row).  The load muxes below reference the row
+  // decodes "bist_row<j>" by name before they are defined — NetlistBuilder
+  // resolves forward references at build().
+  std::map<std::uint32_t, std::vector<const SeedEvent*>> by_offset;
+  if (compressed)
+    for (const SeedEvent& e : comp.seeds) by_offset[e.offset].push_back(&e);
 
   // --- LFSR unrolling: w shifts, one feedback XOR each ---------------------
   // stage[j] holds the net currently occupying LFSR bit j; a shift renames
@@ -60,6 +82,49 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
   for (unsigned j = 0; j < D; ++j) stage[j] = idx_name("bist_lfsr_s", j);
   std::vector<std::string> pattern(w);
   for (std::size_t t = 0; t < w; ++t) {
+    // Reseeding load mux: when any row reloads the register at this offset,
+    // every register bit becomes OR(AND(sel', cur), seed_col) — the seed
+    // column is an OR over the (one-hot) decodes of the rows whose seed bit
+    // is set, so outside a load it is 0 and the keep leg passes the chain.
+    if (const auto it = by_offset.find(static_cast<std::uint32_t>(t));
+        it != by_offset.end()) {
+      const std::vector<const SeedEvent*>& evs = it->second;
+      std::string sel;
+      if (evs.size() >= 2) {
+        sel = idx_name("bist_ld", t);
+        std::vector<std::string> rows;
+        for (const SeedEvent* e : evs)
+          rows.push_back(idx_name("bist_row", e->row));
+        emit(&res.actual.controller, sel, GateType::Or, std::move(rows));
+      } else {
+        sel = idx_name("bist_row", evs[0]->row);
+      }
+      const std::string sel_inv = idx_name("bist_ldn", t);
+      emit(&res.actual.controller, sel_inv, GateType::Not, {sel});
+      for (unsigned bb = 0; bb < D; ++bb) {
+        std::vector<std::string> seed_rows;
+        for (const SeedEvent* e : evs)
+          if ((e->seed >> bb) & 1)
+            seed_rows.push_back(idx_name("bist_row", e->row));
+        const std::string merged = pair_name("bist_ldm", t, bb);
+        if (seed_rows.empty()) {
+          emit(&res.actual.mux, merged, GateType::And, {sel_inv, stage[bb]});
+        } else {
+          const std::string leg = pair_name("bist_ldl", t, bb);
+          emit(&res.actual.mux, leg, GateType::And, {sel_inv, stage[bb]});
+          std::string seed_col;
+          if (seed_rows.size() >= 2) {
+            seed_col = pair_name("bist_seed", t, bb);
+            emit(&res.actual.seed_rom, seed_col, GateType::Or,
+                 std::move(seed_rows));
+          } else {
+            seed_col = seed_rows[0];
+          }
+          emit(&res.actual.mux, merged, GateType::Or, {leg, seed_col});
+        }
+        stage[bb] = merged;
+      }
+    }
     pattern[t] = stage[D - 1];
     std::vector<std::string> tapped;
     for (unsigned j = 0; j < D; ++j)
@@ -117,10 +182,22 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
       emit(&res.actual.controller, rowsel[j], GateType::Buf, std::move(lits));
   }
 
-  std::string phase_inv;  // high during the pseudo-random phase
-  if (T > 0) {
-    if (T >= 2) emit(&res.actual.mux, "bist_det", GateType::Or, rowsel);
-    else emit(&res.actual.mux, "bist_det", GateType::Buf, {rowsel[0]});
+  // Phase select: legacy gates every CUT input between the free-running
+  // chain and the decoded ROM; compressed only the FALLBACK rows leave the
+  // chain (a seeded row's pattern IS the chain, via its load muxes above).
+  std::vector<std::string> det_rows;
+  if (compressed) {
+    for (std::size_t j = 0; j < T; ++j)
+      if (comp.fallback[j]) det_rows.push_back(rowsel[j]);
+  } else {
+    det_rows = rowsel;
+  }
+  std::string phase_inv;  // high outside the decoded-row cycles
+  if (!det_rows.empty()) {
+    if (det_rows.size() >= 2)
+      emit(&res.actual.mux, "bist_det", GateType::Or, det_rows);
+    else
+      emit(&res.actual.mux, "bist_det", GateType::Buf, {det_rows[0]});
     phase_inv = "bist_pr";
     emit(&res.actual.mux, phase_inv, GateType::Not, {"bist_det"});
   }
@@ -131,13 +208,14 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
   for (std::size_t i = 0; i < w; ++i) {
     const std::string cut_in =
         "cut_" + cut.gate(cut.inputs()[i]).name;
-    if (T == 0) {
+    if (det_rows.empty()) {
       emit(&res.actual.mux, cut_in, GateType::Buf, {pattern[i]});
       continue;
     }
     std::vector<std::string> rom_rows;
     for (std::size_t j = 0; j < T; ++j)
-      if (plan.topoff[j].get(i)) rom_rows.push_back(rowsel[j]);
+      if ((!compressed || comp.fallback[j]) && plan.topoff[j].get(i))
+        rom_rows.push_back(rowsel[j]);
     const std::string leg = idx_name("bist_sel", i);
     if (rom_rows.empty()) {
       // No stored pattern drives this input high; the gated LFSR leg IS the
@@ -166,12 +244,59 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
     b.define("cut_" + gg.name, gg.type, std::move(fis));
   }
 
+  // --- MISR + signature comparator (compressed architecture) ---------------
+  // One MISR cycle per applied pattern: next state = shifted register (tap
+  // parity into bit 0) XOR the folded CUT outputs (output o into stage
+  // comp.misr.cls(o), the audited assignment).  bist_sign_ok compares the
+  // next state against the plan's golden signature — meaningful on the last
+  // test cycle.
+  if (K > 0) {
+    std::vector<std::string> tapped;
+    for (unsigned j = 0; j < K; ++j)
+      if ((comp.misr.taps >> j) & 1)
+        tapped.push_back(idx_name("bist_misr_s", j));
+    const std::string mfb = "bist_misr_fb";
+    if (tapped.size() >= 2)
+      emit(&res.actual.misr, mfb, GateType::Xor, std::move(tapped));
+    else
+      emit(&res.actual.misr, mfb, GateType::Buf, std::move(tapped));
+    std::vector<std::string> misr_next(K);
+    for (unsigned cc = 0; cc < K; ++cc) {
+      std::vector<std::string> fis;
+      fis.push_back(cc == 0 ? mfb : idx_name("bist_misr_s", cc - 1));
+      for (std::size_t o = 0; o < cut.outputs().size(); ++o)
+        if (comp.misr.cls(o) == cc)
+          fis.push_back("cut_" + cut.gate(cut.outputs()[o]).name);
+      misr_next[cc] = idx_name("bist_misr_n", cc);
+      const GateType mt = fis.size() >= 2 ? GateType::Xor : GateType::Buf;
+      emit(&res.actual.misr, misr_next[cc], mt, std::move(fis));
+    }
+    std::vector<std::string> lits(K);
+    for (unsigned cc = 0; cc < K; ++cc) {
+      if ((comp.golden >> cc) & 1) {
+        lits[cc] = misr_next[cc];
+      } else {
+        lits[cc] = idx_name("bist_misr_cmp", cc);
+        emit(&res.actual.misr, lits[cc], GateType::Not, {misr_next[cc]});
+      }
+    }
+    emit(&res.actual.misr, "bist_sign_ok",
+         K >= 2 ? GateType::And : GateType::Buf, std::move(lits));
+  }
+
   // --- primary outputs ------------------------------------------------------
   for (GateId o : cut.outputs()) b.output("cut_" + cut.gate(o).name);
   for (unsigned j = 0; j < D; ++j) b.output(idx_name("bist_lfsr_n", j));
   for (std::size_t i = 0; i < C; ++i) b.output(idx_name("bist_cnt_n", i));
+  for (unsigned j = 0; j < K; ++j) b.output(idx_name("bist_misr_n", j));
+  if (K > 0) b.output("bist_sign_ok");
 
-  res.actual.rom_bits = T * w;
+  if (compressed) {
+    res.actual.rom_bits = comp.fallback_rows() * w;
+    res.actual.seed_rom_bits = comp.seed_rom_bits();
+  } else {
+    res.actual.rom_bits = T * w;
+  }
   res.wrapper = b.build();
   return res;
 }

@@ -24,9 +24,13 @@ WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
   const std::size_t total = plan.test_time;
   const std::size_t C = counter_width(total);
   const std::size_t w = cut.input_count();
+  const unsigned K =
+      plan.comp.enabled && plan.comp.misr.enabled() ? plan.comp.misr.degree : 0;
 
   // Resolve every net the loop reads or drives, once.
   std::vector<GateId> lfsr_in(D), lfsr_out(D), cnt_in(C), cnt_out(C), cut_in(w);
+  std::vector<GateId> misr_in(K), misr_out(K);
+  GateId sign_ok = kNoGate;
   for (unsigned i = 0; i < D; ++i) {
     lfsr_in[i] = require_net(wrapper, "bist_lfsr_s" + std::to_string(i));
     lfsr_out[i] = require_net(wrapper, "bist_lfsr_n" + std::to_string(i));
@@ -35,6 +39,11 @@ WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
     cnt_in[i] = require_net(wrapper, "bist_cnt_s" + std::to_string(i));
     cnt_out[i] = require_net(wrapper, "bist_cnt_n" + std::to_string(i));
   }
+  for (unsigned i = 0; i < K; ++i) {
+    misr_in[i] = require_net(wrapper, "bist_misr_s" + std::to_string(i));
+    misr_out[i] = require_net(wrapper, "bist_misr_n" + std::to_string(i));
+  }
+  if (K > 0) sign_ok = require_net(wrapper, "bist_sign_ok");
   for (std::size_t i = 0; i < w; ++i)
     cut_in[i] =
         require_net(wrapper, "cut_" + cut.gate(cut.inputs()[i]).name);
@@ -46,6 +55,7 @@ WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
       D == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << D) - 1);
   std::uint64_t lfsr_state = plan.lfsr_seed & mask;
   std::uint64_t counter = 0;
+  std::uint64_t misr_state = 0;
 
   PatternBlock blk;
   blk.width = wrapper.input_count();
@@ -62,6 +72,9 @@ WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
     for (std::size_t i = 0; i < C; ++i)
       if ((counter >> i) & 1)
         blk.input_words[wrapper.input_index(cnt_in[i])] = 1;
+    for (unsigned i = 0; i < K; ++i)
+      if ((misr_state >> i) & 1)
+        blk.input_words[wrapper.input_index(misr_in[i])] = 1;
     sim.simulate(blk);
 
     BitVec pat(w);
@@ -69,16 +82,21 @@ WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
       pat.set(i, sim.value(cut_in[i]) & 1);
     r.applied.push_back(std::move(pat));
 
-    std::uint64_t next_state = 0, next_counter = 0;
+    std::uint64_t next_state = 0, next_counter = 0, next_misr = 0;
     for (unsigned i = 0; i < D; ++i)
       next_state |= std::uint64_t(sim.value(lfsr_out[i]) & 1) << i;
     for (std::size_t i = 0; i < C; ++i)
       next_counter |= std::uint64_t(sim.value(cnt_out[i]) & 1) << i;
+    for (unsigned i = 0; i < K; ++i)
+      next_misr |= std::uint64_t(sim.value(misr_out[i]) & 1) << i;
     lfsr_state = next_state;
     counter = next_counter;
+    misr_state = next_misr;
+    if (K > 0 && cycle + 1 == total) r.sign_ok = sim.value(sign_ok) & 1;
   }
   r.final_lfsr_state = lfsr_state;
   r.final_counter = counter;
+  r.final_misr = misr_state;
   return r;
 }
 
@@ -113,12 +131,43 @@ WrapperVerification verify_wrapper(const Netlist& wrapper, const Netlist& cut,
   // set) agree integer for integer, and the doubles divide out identically.
   const SimKernel ck(cut);
   FaultSimulator fsim(ck);
-  const FaultSimResult fr = fsim.run(pack_all(ws.applied, w), fopt);
+  const std::vector<PatternBlock> blocks = pack_all(ws.applied, w);
+  const FaultSimResult fr = fsim.run(blocks, fopt);
   v.achieved_coverage = fr.final_coverage();
   v.achieved_coverage_weighted = fr.final_coverage_weighted();
   v.coverage_identical = v.achieved_coverage == point.final_coverage &&
                          v.achieved_coverage_weighted ==
                              point.final_coverage_weighted;
+
+  if (plan.comp.enabled) {
+    // Seed re-proof: every seeded (non-fallback) stored row must be the
+    // software expansion of its seed schedule, bit for bit — the stored set
+    // IS the seed expansion, not merely consistent with it.
+    const CompressedTopoff& comp = plan.comp;
+    v.seeds_identical = comp.fallback.size() == plan.topoff.size();
+    std::vector<std::vector<SeedEvent>> by_row(plan.topoff.size());
+    for (const SeedEvent& e : comp.seeds)
+      if (e.row < by_row.size()) by_row[e.row].push_back(e);
+    for (std::size_t j = 0; j < plan.topoff.size() && v.seeds_identical; ++j) {
+      if (comp.fallback[j]) continue;
+      v.seeds_identical =
+          expand_row(by_row[j], plan.lfsr_degree, plan.lfsr_taps, w) ==
+          plan.topoff[j];
+    }
+
+    // Signature: the gate-level MISR must land exactly on the golden state
+    // and the synthesized comparator must say so on the final cycle.
+    v.misr_signature = ws.final_misr;
+    v.signature_identical = comp.misr.enabled()
+                                ? ws.final_misr == comp.golden && ws.sign_ok
+                                : ws.final_misr == 0 && !ws.sign_ok;
+
+    // Empirical aliasing audit over the applied stream: does any detected
+    // fault's signature collide with the golden one?
+    if (comp.misr.enabled())
+      v.aliasing = misr_aliasing_check(fsim, ck, blocks, ws.applied.size(),
+                                       comp.misr, fr.first_detected);
+  }
   return v;
 }
 

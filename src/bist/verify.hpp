@@ -11,15 +11,24 @@
 // expected stream is assumed — the state evolution comes entirely out of the
 // synthesized gates.
 //
-// verify_wrapper() then checks the three-way contract against the scheduled
-// point:
+// verify_wrapper() then checks the contract against the scheduled point:
 //   - the first lfsr_patterns applied patterns are bit-identical to the
 //     Lfsr class's stream for the plan's (degree, taps, seed);
 //   - the remaining applied patterns equal the plan's stored top-off set in
 //     application order (hence set-identical);
 //   - fault-simulating the CUT over the applied patterns yields exactly the
 //     point's final coverage, under both accounting conventions, down to
-//     the double (same integer numerators over the same denominators).
+//     the double (same integer numerators over the same denominators);
+// and, for a compressed plan (plan.comp.enabled):
+//   - every seeded (non-fallback) top-off row is bit-identical to the
+//     software re-expansion of its seed schedule (expand_row), proving the
+//     stored set really is the seed expansion;
+//   - the wrapper's MISR lands exactly on the plan's golden signature and
+//     raises bist_sign_ok on the final cycle;
+//   - the empirical aliasing audit (misr_aliasing_check) is reported:
+//     detected faults whose faulty signature would equal the golden one.
+//     Escapes do not fail ok() — they bound the compaction's quality and
+//     are gated to zero by the bench/tests on the surrogate family.
 
 #include <cstdint>
 #include <vector>
@@ -37,6 +46,11 @@ struct WrapperSimResult {
   std::vector<BitVec> applied;
   std::uint64_t final_lfsr_state = 0;
   std::uint64_t final_counter = 0;
+  /// MISR state after the last cycle (read off bist_misr_n) and the
+  /// comparator output on that cycle; both 0/false when the plan carries no
+  /// MISR.
+  std::uint64_t final_misr = 0;
+  bool sign_ok = false;
 };
 
 /// Run the wrapper for plan.test_time cycles.  `cut` provides the input
@@ -51,11 +65,19 @@ struct WrapperVerification {
   bool lfsr_phase_identical = false;
   bool topoff_identical = false;
   bool coverage_identical = false;
+  /// Compressed-plan checks; trivially true for a legacy (decoded) plan.
+  bool seeds_identical = true;      ///< seeded rows == expand_row re-expansion
+  bool signature_identical = true;  ///< final MISR == golden, sign_ok raised
   std::size_t cycles = 0;
   double achieved_coverage = 0;
   double achieved_coverage_weighted = 0;
+  std::uint64_t misr_signature = 0;  ///< wrapper's final signature
+  /// Empirical MISR aliasing audit over the applied stream (zeroed for a
+  /// legacy plan): reported, not part of ok().
+  AliasingReport aliasing;
   bool ok() const {
-    return lfsr_phase_identical && topoff_identical && coverage_identical;
+    return lfsr_phase_identical && topoff_identical && coverage_identical &&
+           seeds_identical && signature_identical;
   }
 };
 

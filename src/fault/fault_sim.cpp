@@ -292,7 +292,8 @@ void FaultSimulator::build_stem_groups() {
 std::uint64_t FaultSimulator::propagate_fault(const Fault& f,
                                               const std::uint64_t* good,
                                               std::uint64_t lanes,
-                                              std::uint64_t* evals) {
+                                              std::uint64_t* evals,
+                                              std::uint64_t* po_diffs) {
   const KIndex site = k_->index_of(f.gate);
   const std::uint64_t stuck_word = f.stuck ? ~std::uint64_t{0} : 0;
   const MicroOp* op = k_->op_data();
@@ -320,6 +321,9 @@ std::uint64_t FaultSimulator::propagate_fault(const Fault& f,
                            });
     ++*evals;
   }
+  const std::size_t n_outs = k_->outputs().size();
+  if (po_diffs)
+    for (std::size_t i = 0; i < n_outs; ++i) po_diffs[i] = 0;
   const std::uint64_t site_diff = (site_val ^ good[site]) & lanes;
   if (!site_diff) return 0;  // fault not activated by any lane
 
@@ -364,6 +368,13 @@ std::uint64_t FaultSimulator::propagate_fault(const Fault& f,
     q.clear();
   }
 
+  if (po_diffs) {
+    const auto outs = k_->outputs();
+    for (std::size_t i = 0; i < n_outs; ++i) {
+      const KIndex o = outs[i];
+      if (touched_[o]) po_diffs[i] = (fval_[o] ^ good[o]) & lanes;
+    }
+  }
   for (const KIndex u : touched_list_) touched_[u] = 0;
   touched_list_.clear();
   return det;

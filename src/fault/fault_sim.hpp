@@ -168,9 +168,23 @@ class FaultSimulator {
     return propagate_fault(f, good_values.data(), lane_mask, &evals);
   }
 
+  /// detect_lanes plus the per-primary-output difference words: diffs[i]
+  /// (PO order, size >= output count) gets the lanes on which fault f flips
+  /// output i.  Building block of the MISR aliasing audit (bist/compress),
+  /// which needs *where* a fault is observed, not just whether.
+  std::uint64_t output_diffs(const Fault& f,
+                             std::span<const std::uint64_t> good_values,
+                             std::uint64_t lane_mask,
+                             std::span<std::uint64_t> diffs) {
+    std::uint64_t evals = 0;
+    return propagate_fault(f, good_values.data(), lane_mask, &evals,
+                           diffs.data());
+  }
+
  private:
   std::uint64_t propagate_fault(const Fault& f, const std::uint64_t* good,
-                                std::uint64_t lanes, std::uint64_t* evals);
+                                std::uint64_t lanes, std::uint64_t* evals,
+                                std::uint64_t* po_diffs = nullptr);
   void init_scratch();
   void build_stem_groups();
   FaultSimResult run_legacy(std::span<const PatternBlock> blocks,

@@ -150,6 +150,7 @@ JobReport run_plan_job(const JobSpec& spec) {
       topt.deadline = (sweep_s >= 0 || spec.cancel) ? &sweep_dl : nullptr;
       const SimKernel kernel(cut);
       rep.sweep = run_mixed_sweep(kernel, spec.sweep_lengths, topt);
+      rep.solve_seconds = rep.sweep.stats.solve_seconds;
       have_sweep = true;
       return rep.sweep.status;  // Ok, or the anytime stop reason
     });

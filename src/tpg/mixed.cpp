@@ -54,10 +54,12 @@ namespace {
 // Reverse-order compaction: simulate the top-off set backwards; a pattern
 // survives only if it detects a target fault not covered by a later
 // (already kept) pattern.  Runs 64 patterns per pass through the PPSFP
-// propagate.  Returns the survivors in application order.
-std::vector<BitVec> compact_reverse(const SimKernel& k, FaultSimulator& fsim,
-                                    std::vector<BitVec> topoff,
-                                    std::span<const std::uint32_t> target) {
+// propagate.  Returns the surviving row indices in application order, so
+// the caller can select any per-row payload (patterns, seed schedules)
+// alongside the patterns themselves.
+std::vector<std::uint32_t> compact_reverse(
+    const SimKernel& k, FaultSimulator& fsim,
+    std::span<const BitVec> topoff, std::span<const std::uint32_t> target) {
   const std::size_t width = k.inputs().size();
   std::vector<BitVec> rev(topoff.rbegin(), topoff.rend());
   std::vector<char> covered(target.size(), 0);
@@ -84,10 +86,27 @@ std::vector<BitVec> compact_reverse(const SimKernel& k, FaultSimulator& fsim,
       if (newly) keep[base + lane] = 1;
     }
   }
-  std::vector<BitVec> kept;
+  std::vector<std::uint32_t> kept;
   for (std::size_t i = rev.size(); i-- > 0;)  // back to application order
-    if (keep[i]) kept.push_back(std::move(rev[i]));
+    if (keep[i])
+      kept.push_back(static_cast<std::uint32_t>(rev.size() - 1 - i));
   return kept;
+}
+
+/// Resolve the point's MISR configuration from the options.
+MisrSpec misr_for(const SimKernel& k, const MixedTpgOptions& opt) {
+  MisrSpec m = opt.misr_degree
+                   ? MisrSpec{opt.misr_degree,
+                              Lfsr::primitive_taps(opt.misr_degree),
+                              {}}
+                   : misr_spec_for(k.outputs().size());
+  if (!opt.misr_fold.empty()) {
+    if (opt.misr_fold.size() != k.outputs().size())
+      throw std::invalid_argument(
+          "mixed tpg: misr_fold size does not match the CUT output count");
+    m.fold = opt.misr_fold;
+  }
+  return m;
 }
 
 }  // namespace
@@ -98,19 +117,36 @@ void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
                    const MixedTpgOptions& opt, MixedSchemeResult& r) {
   const auto t0 = WallClock::now();
   r.tail_faults = tail.size();
+  const std::size_t width = k.inputs().size();
+  const std::uint64_t taps = Lfsr::primitive_taps(opt.lfsr_degree);
 
   // X-fill the detected cubes in tail order from a fresh fill stream — the
   // stream position a cube sees depends only on the X counts of the detected
   // cubes before it in this point's tail, so a sweep replays it exactly.
+  // Under opt.compress the same stream instead feeds the free seed variables
+  // of the GF(2) reseeding solve (and the raw X bits of fallback rows), so
+  // the stored pattern IS the seed expansion by construction.
   FillBits bits(opt.fill_seed);
   std::vector<std::uint32_t> target;  // per top-off pattern: its tail fault
+  std::vector<RowCompression> rows;   // aligned with r.topoff (compress mode)
+  double solve = 0.0;
   for (std::size_t i = 0; i < tail.size(); ++i) {
     const PodemResult& pr = *verdicts[i];
     r.podem_backtracks += pr.backtracks;
     r.podem_decisions += pr.decisions;
     switch (pr.status) {
       case PodemStatus::Detected:
-        r.topoff.push_back(fill_cube(pr.cube, bits));
+        if (opt.compress) {
+          const auto s0 = WallClock::now();
+          RowCompression rc = compress_cube(pr.cube, opt.lfsr_degree, taps,
+                                            [&bits] { return bits.next(); });
+          solve += seconds_since(s0);
+          r.topoff.push_back(std::move(rc.pattern));
+          rc.pattern = BitVec();
+          rows.push_back(std::move(rc));
+        } else {
+          r.topoff.push_back(fill_cube(pr.cube, bits));
+        }
         target.push_back(tail[i]);
         ++r.podem_detected;
         break;
@@ -136,14 +172,27 @@ void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
   r.podem_seconds += seconds_since(t0);
 
   const auto t1 = WallClock::now();
-  if (opt.compact && !r.topoff.empty())
-    r.topoff = compact_reverse(k, fsim, std::move(r.topoff), target);
+  if (opt.compact && !r.topoff.empty()) {
+    const std::vector<std::uint32_t> kept =
+        compact_reverse(k, fsim, r.topoff, target);
+    std::vector<BitVec> sel;
+    sel.reserve(kept.size());
+    std::vector<RowCompression> sel_rows;
+    sel_rows.reserve(opt.compress ? kept.size() : 0);
+    for (const std::uint32_t i : kept) {
+      sel.push_back(std::move(r.topoff[i]));
+      if (opt.compress) sel_rows.push_back(std::move(rows[i]));
+    }
+    r.topoff = std::move(sel);
+    rows = std::move(sel_rows);
+  }
   r.topoff_patterns = r.topoff.size();
 
   // Final accounting: fault-sim the emitted set against the whole tail, so
   // incidental detections (random fill catching aborted faults) count.
   std::size_t topoff_detected = 0;
   std::uint64_t topoff_detected_weight = 0;
+  std::vector<std::int64_t> topoff_fd;  // per tail fault, over r.topoff
   if (!r.topoff.empty()) {
     std::vector<Fault> tail_faults;
     std::vector<std::uint32_t> tail_w;
@@ -158,10 +207,11 @@ void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
     // accounting pass, or the point would claim a coverage it cannot prove.
     FaultSimOptions acct = opt.fsim;
     acct.deadline = nullptr;
-    const FaultSimResult tr =
+    FaultSimResult tr =
         tailsim.run(pack_all(r.topoff, k.inputs().size()), acct);
     topoff_detected = tr.detected;
     topoff_detected_weight = tr.detected_weight;
+    topoff_fd = std::move(tr.first_detected);
   }
   const FaultSimResult& lr = r.lfsr_result;
   r.final_coverage =
@@ -173,14 +223,88 @@ void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
           ? double(lr.detected_weight + topoff_detected_weight) /
                 double(lr.total_weight)
           : 0.0;
+
+  // Compression artifacts: seed schedules renumbered to the kept rows, MISR
+  // spec, and the golden signature over the exact applied stream (the LFSR
+  // phase the point claims, then the kept top-off set in application order).
+  if (opt.compress) {
+    const auto s1 = WallClock::now();
+    CompressedTopoff& c = r.comp;
+    c.enabled = true;
+    c.degree = opt.lfsr_degree;
+    c.fallback.assign(r.topoff.size(), 0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      c.fallback[i] = rows[i].fallback;
+      for (SeedEvent e : rows[i].seeds) {
+        e.row = static_cast<std::uint32_t>(i);
+        c.seeds.push_back(e);
+      }
+    }
+    c.misr = misr_for(k, opt);
+    c.cut_outputs = k.outputs().size();
+
+    // The point's exact applied stream, as one packed block sequence: the
+    // fold audit and the golden signature both walk it.
+    std::vector<BitVec> applied;
+    applied.reserve(r.lfsr_patterns + r.topoff.size());
+    Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
+    for (std::size_t t = 0; t < r.lfsr_patterns; ++t)
+      applied.push_back(lfsr.next_pattern(width));
+    applied.insert(applied.end(), r.topoff.begin(), r.topoff.end());
+    const std::vector<PatternBlock> blocks = pack_all(applied, width);
+
+    // Audited fold selection, per point, over everything this point's
+    // stream detects — the LFSR phase's faults plus the top-off accounting
+    // pass's (which alone sees the random-pattern-resistant faults whose
+    // bus-aligned output cones defeat the natural fold).
+    if (c.misr.enabled() && opt.misr_fold.empty() && !applied.empty()) {
+      std::vector<std::int64_t> fd(fsim.faults().size(), -1);
+      const std::vector<std::int64_t>& lfd = r.lfsr_result.first_detected;
+      for (std::size_t f = 0; f < fd.size(); ++f)
+        if (lfd[f] >= 0 && lfd[f] < std::int64_t(r.lfsr_patterns))
+          fd[f] = lfd[f];
+      for (std::size_t j = 0; j < topoff_fd.size(); ++j)
+        if (fd[tail[j]] < 0 && topoff_fd[j] >= 0)
+          fd[tail[j]] = std::int64_t(r.lfsr_patterns) + topoff_fd[j];
+      c.misr = choose_misr_fold(fsim, k, blocks, applied.size(), fd, c.misr);
+    }
+    c.golden = misr_signature(k, blocks, c.misr, 0);
+    solve += seconds_since(s1);
+    c.solve_seconds = solve;
+    r.solve_seconds = solve;
+  }
   r.compact_seconds += seconds_since(t1);
 }
 
-void finish_lfsr_only(MixedSchemeResult& r, StageStatus why) {
+void finish_lfsr_only(const SimKernel& k, FaultSimulator& fsim,
+                      const MixedTpgOptions& opt, MixedSchemeResult& r,
+                      StageStatus why) {
   const FaultSimResult& lr = r.lfsr_result;
   r.tail_faults = lr.sim_faults - lr.detected;
   r.final_coverage = r.lfsr_coverage;
   r.final_coverage_weighted = r.lfsr_coverage_weighted;
+  if (opt.compress) {
+    // The degraded point still signs off: MISR over the exact prefix that
+    // ran, no seeds (there is no top-off to compress).
+    const auto s0 = WallClock::now();
+    CompressedTopoff& c = r.comp;
+    c.enabled = true;
+    c.degree = opt.lfsr_degree;
+    c.misr = misr_for(k, opt);
+    c.cut_outputs = k.outputs().size();
+    Lfsr lfsr = Lfsr::maximal(opt.lfsr_degree, opt.lfsr_seed);
+    const std::vector<PatternBlock> blocks =
+        lfsr.blocks(k.inputs().size(), lr.patterns);
+    // Fold audit over the prefix's detected faults (the audit core skips
+    // first_detected entries at or beyond lr.patterns, so the prefix
+    // result's kept-later detections are excluded automatically).
+    if (c.misr.enabled() && opt.misr_fold.empty() && lr.patterns > 0)
+      c.misr = choose_misr_fold(fsim, k, blocks, lr.patterns,
+                                lr.first_detected, c.misr);
+    c.golden = misr_signature(k, blocks, c.misr, 0);
+    c.solve_seconds = seconds_since(s0);
+    r.solve_seconds = c.solve_seconds;
+  }
   r.state = PointState::LfsrOnly;
   r.status = std::move(why);
 }
@@ -217,7 +341,7 @@ MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
     // Truncated pseudo-random phase: everything computed so far is the
     // exact prefix run; stop here as a degraded LFSR-only point at the
     // length that actually ran.
-    mixed_phase::finish_lfsr_only(r, r.lfsr_result.status);
+    mixed_phase::finish_lfsr_only(k, fsim, opt, r, r.lfsr_result.status);
     return r;
   }
 
@@ -244,8 +368,9 @@ MixedSchemeResult run_mixed_tpg(const SimKernel& k, FaultSimulator& fsim,
     // so the whole top-off phase is withdrawn rather than emitted partially
     // (a partial top-off could not reproduce an independent run anyway).
     mixed_phase::finish_lfsr_only(
-        r, dl ? dl->stop_status("podem")
-              : StageStatus::cancelled("podem: verdicts cancelled"));
+        k, fsim, opt, r,
+        dl ? dl->stop_status("podem")
+           : StageStatus::cancelled("podem: verdicts cancelled"));
     return r;
   }
 

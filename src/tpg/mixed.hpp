@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bist/compress.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
 #include "fault/podem.hpp"
@@ -40,6 +41,25 @@ struct MixedTpgOptions {
   /// so results are bit-identical for every value; this only changes speed.
   unsigned podem_threads = 1;
   std::uint64_t fill_seed = 0x5EEDF111;  ///< X-fill RNG seed for test cubes
+  /// Compressed test-data architecture (the default): each detected cube is
+  /// solved into an LFSR reseeding schedule (bist/compress), the stored
+  /// top-off pattern is DEFINED as the seed expansion (free seed variables
+  /// take the X-fill stream's bits), and a MISR spec + golden signature over
+  /// the applied stream is attached to the result.  false selects the legacy
+  /// fully decoded ROM path — bit-identical to the pre-compression pipeline.
+  bool compress = true;
+  /// MISR degree override; 0 = misr_degree_for(CUT output count).  Only
+  /// meaningful when `compress` is set.
+  unsigned misr_degree = 0;
+  /// MISR output-to-stage assignment override (size = CUT output count,
+  /// values < degree).  Empty = audited automatic selection, per point:
+  /// once a point's applied stream is final (pseudo-random prefix plus kept
+  /// top-off set), choose_misr_fold() picks an assignment with zero
+  /// empirical aliasing escapes over everything that stream detects (the
+  /// natural o mod K fold when it is already clean).  The audit must see
+  /// the top-off patterns: the random-pattern-resistant faults they target
+  /// are exactly the ones a pseudo-random-only audit can never check.
+  std::vector<std::uint16_t> misr_fold;
   bool compact = true;           ///< reverse-order compaction of the top-off set
   bool verify_patterns = true;   ///< fault-sim check of every emitted pattern
   /// Cooperative deadline/cancel for the whole scheme, threaded into the
@@ -73,6 +93,13 @@ struct MixedSchemeResult {
   std::size_t topoff_patterns = 0;  ///< |topoff| after compaction
   /// Deterministic top-off set in application order.
   std::vector<BitVec> topoff;
+  /// Compression artifacts (comp.enabled iff opt.compress and the point ran
+  /// far enough to define an applied stream): per-row seed schedules and
+  /// fallback flags aligned with `topoff`, MISR spec, golden signature over
+  /// the LFSR phase + top-off stream.  LfsrOnly points carry the MISR and
+  /// golden for their (possibly truncated) pseudo-random prefix with no
+  /// seeds; Skipped points leave it disabled.
+  CompressedTopoff comp;
   std::vector<Fault> redundant_faults;
   std::vector<Fault> aborted_faults;
   /// Coverage after the LFSR phase alone / after LFSR + top-off, collapsed
@@ -95,6 +122,9 @@ struct MixedSchemeResult {
   double lfsr_seconds = 0.0;
   double podem_seconds = 0.0;
   double compact_seconds = 0.0;
+  /// Compression-layer wall-clock (GF(2) reseeding solves + golden-signature
+  /// simulation); a sub-measure of the phases above, not additional time.
+  double solve_seconds = 0.0;
   /// Anytime ladder position (Complete unless a deadline/cancel fired) and
   /// why a non-Complete state was reached.  For a Complete point `status`
   /// is Ok and every field is bit-identical to an undeadlined run; for

@@ -79,7 +79,13 @@ void topoff_phases(const SimKernel& k, FaultSimulator& fsim,
 /// tail_faults, copies the LFSR coverage into the final coverage (an empty
 /// top-off adds nothing), and marks the point LfsrOnly with `why` as the
 /// reason.  The result is a valid degraded hardware point — the coverage it
-/// claims is exactly what the pseudo-random phase proved.
-void finish_lfsr_only(MixedSchemeResult& r, StageStatus why);
+/// claims is exactly what the pseudo-random phase proved.  Under
+/// opt.compress the point still gets its MISR spec (fold audited against the
+/// prefix's detected faults, like a complete point) and the golden signature
+/// of the prefix stream that ran (no seeds — there is no top-off), so a
+/// degraded wrapper signs off exactly like a complete one.
+void finish_lfsr_only(const SimKernel& k, FaultSimulator& fsim,
+                      const MixedTpgOptions& opt, MixedSchemeResult& r,
+                      StageStatus why);
 
 }  // namespace bist::mixed_phase

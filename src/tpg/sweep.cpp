@@ -76,7 +76,7 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
         r.lfsr_result.status = StageStatus{};  // the prefix itself is exact
         r.lfsr_coverage = r.lfsr_result.final_coverage();
         r.lfsr_coverage_weighted = r.lfsr_result.final_coverage_weighted();
-        mixed_phase::finish_lfsr_only(r, why);
+        mixed_phase::finish_lfsr_only(k, fsim, opt, r, why);
       } else {
         r.state = PointState::Skipped;
         r.status = why;
@@ -120,8 +120,9 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
     r.podem_seconds = seconds_since(t1);
     if (cut) {
       mixed_phase::finish_lfsr_only(
-          r, dl ? dl->stop_status("mixed_sweep")
-                : StageStatus::cancelled("mixed_sweep: podem cancelled"));
+          k, fsim, opt, r,
+          dl ? dl->stop_status("mixed_sweep")
+             : StageStatus::cancelled("mixed_sweep: podem cancelled"));
       by_order.push_back(std::move(r));
       continue;
     }
@@ -131,6 +132,7 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
     mixed_phase::topoff_phases(k, fsim, tail, vp, opt, r);
     sr.stats.podem_seconds += r.podem_seconds;
     sr.stats.compact_seconds += r.compact_seconds;
+    sr.stats.solve_seconds += r.solve_seconds;
     by_order.push_back(std::move(r));
   }
 
@@ -159,7 +161,7 @@ MixedSweepResult run_mixed_sweep(const SimKernel& k, FaultSimulator& fsim,
     r.lfsr_seconds = seconds_since(t0);
     r.lfsr_coverage = r.lfsr_result.final_coverage();
     r.lfsr_coverage_weighted = r.lfsr_result.final_coverage_weighted();
-    mixed_phase::finish_lfsr_only(r, why);
+    mixed_phase::finish_lfsr_only(k, fsim, opt, r, why);
   }
 
   // Sweep-level verdict: the first non-Complete point's reason (points

@@ -1,0 +1,99 @@
+#include "util/gf2.hpp"
+
+#include <bit>
+
+namespace bist {
+
+Gf2Matrix Gf2Matrix::identity(unsigned n) {
+  Gf2Matrix m(n);
+  for (unsigned i = 0; i < n; ++i) m.rows_[i] = std::uint64_t{1} << i;
+  return m;
+}
+
+std::uint64_t Gf2Matrix::apply(std::uint64_t v) const {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < n_; ++i)
+    r |= std::uint64_t(std::popcount(rows_[i] & v) & 1) << i;
+  return r;
+}
+
+Gf2Matrix Gf2Matrix::operator*(const Gf2Matrix& o) const {
+  // (this * o) row i: combine the rows of o selected by this->rows_[i].
+  Gf2Matrix r(n_);
+  for (unsigned i = 0; i < n_; ++i) {
+    std::uint64_t acc = 0;
+    std::uint64_t sel = rows_[i];
+    while (sel) {
+      const unsigned j = std::countr_zero(sel);
+      sel &= sel - 1;
+      acc ^= o.rows_[j];
+    }
+    r.rows_[i] = acc;
+  }
+  return r;
+}
+
+Gf2Matrix Gf2Matrix::pow(std::uint64_t e) const {
+  Gf2Matrix r = identity(n_);
+  Gf2Matrix b = *this;
+  while (e) {
+    if (e & 1) r = r * b;
+    b = b * b;
+    e >>= 1;
+  }
+  return r;
+}
+
+Gf2Matrix lfsr_transition(unsigned degree, std::uint64_t taps) {
+  Gf2Matrix m(degree);
+  m.set_row(0, taps);  // fb = parity(state & taps)
+  for (unsigned j = 1; j < degree; ++j)
+    m.set_row(j, std::uint64_t{1} << (j - 1));  // shift up
+  return m;
+}
+
+Gf2Add Gf2Solver::add(std::uint64_t coeffs, bool rhs) {
+  std::uint8_t r = rhs;
+  while (coeffs) {
+    const unsigned lead = 63 - std::countl_zero(coeffs);
+    if (!has_[lead]) {
+      pivot_[lead] = coeffs;
+      rhs_[lead] = r;
+      has_[lead] = 1;
+      ++rank_;
+      return Gf2Add::Inserted;
+    }
+    coeffs ^= pivot_[lead];
+    r ^= rhs_[lead];
+  }
+  return r ? Gf2Add::Inconsistent : Gf2Add::Redundant;
+}
+
+bool Gf2Solver::conflicts(std::uint64_t coeffs, bool rhs) const {
+  std::uint8_t r = rhs;
+  while (coeffs) {
+    const unsigned lead = 63 - std::countl_zero(coeffs);
+    if (!has_[lead]) return false;  // would insert
+    coeffs ^= pivot_[lead];
+    r ^= rhs_[lead];
+  }
+  return r != 0;
+}
+
+std::uint64_t Gf2Solver::solve(std::uint64_t free_values) const {
+  // Non-leading bits of a pivot row are strictly below its leading bit, so
+  // assigning variables from bit 0 upward sees every dependency resolved.
+  std::uint64_t x = 0;
+  for (unsigned i = 0; i < vars_; ++i) {
+    if (!has_[i]) {
+      x |= free_values & (std::uint64_t{1} << i);
+      continue;
+    }
+    const std::uint64_t below = pivot_[i] & ((std::uint64_t{1} << i) - 1);
+    const unsigned bit = rhs_[i] ^ (std::popcount(below & x) & 1);
+    x |= std::uint64_t(bit) << i;
+  }
+  return x;
+}
+
+}  // namespace bist

@@ -1,0 +1,114 @@
+#pragma once
+// GF(2) linear algebra over machine words — the substrate of the LFSR
+// reseeding compression layer (bist/compress).  Everything here works on
+// n <= 64 variables packed into one std::uint64_t per row, which covers the
+// repo's LFSR degrees (2..64) with no allocation in the hot paths.
+//
+// Three pieces:
+//
+//   Gf2Matrix        square bit matrix (row-major words) with multiply and
+//                    square-and-multiply exponentiation — used to expand the
+//                    LFSR tap polynomial's transition matrix M so that the
+//                    state after t steps is M^t * seed without stepping.
+//   lfsr_transition  the companion matrix of Lfsr::step() for a given
+//                    (degree, taps), in the same bit convention as the Lfsr
+//                    class: state bit j of the product equals bit j of the
+//                    stepped register.
+//   Gf2Solver        incremental Gaussian elimination over (coeffs, rhs)
+//                    equations: add() reduces a new equation against the
+//                    pivot basis and reports Inserted / Redundant /
+//                    Inconsistent, solve() back-substitutes a particular
+//                    solution with caller-chosen free-variable values.
+//                    Snapshots (plain copies) make the reseeding solver's
+//                    windowed rollback trivial.
+//
+// The reseeding solve in bist/compress leans on one structural fact proved
+// by test_gf2: for the first `degree` stream bits after a seed load the
+// equations are the identity rows (stream bit t = seed bit degree-1-t), so
+// a care bit never conflicts inside the load window and segmentation always
+// terminates.
+
+#include <cstdint>
+#include <vector>
+
+namespace bist {
+
+/// Dense square bit matrix over GF(2); row i is a packed word, column j is
+/// bit j.  (M * v)[i] = parity(row[i] & v).
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+  explicit Gf2Matrix(unsigned n) : n_(n), rows_(n, 0) {}
+
+  static Gf2Matrix identity(unsigned n);
+
+  unsigned size() const { return n_; }
+  std::uint64_t row(unsigned i) const { return rows_[i]; }
+  void set_row(unsigned i, std::uint64_t r) { rows_[i] = r; }
+  bool get(unsigned i, unsigned j) const { return (rows_[i] >> j) & 1; }
+  void set(unsigned i, unsigned j, bool v) {
+    rows_[i] = v ? rows_[i] | (std::uint64_t{1} << j)
+                 : rows_[i] & ~(std::uint64_t{1} << j);
+  }
+
+  /// Matrix-vector product (vector packed LSB-first).
+  std::uint64_t apply(std::uint64_t v) const;
+  Gf2Matrix operator*(const Gf2Matrix& o) const;
+  /// M^e by square-and-multiply; M^0 = identity.
+  Gf2Matrix pow(std::uint64_t e) const;
+
+  bool operator==(const Gf2Matrix& o) const {
+    return n_ == o.n_ && rows_ == o.rows_;
+  }
+
+ private:
+  unsigned n_ = 0;
+  std::vector<std::uint64_t> rows_;
+};
+
+/// One-step transition matrix of Lfsr::step() for (degree, taps): if s is
+/// the packed register before the step and s' after, then s' = M * s.
+/// Row 0 is the taps mask (feedback parity), row j>0 is e_{j-1} (shift).
+Gf2Matrix lfsr_transition(unsigned degree, std::uint64_t taps);
+
+/// Verdict of adding one equation to a Gf2Solver.
+enum class Gf2Add : std::uint8_t {
+  Inserted,      ///< new pivot created; rank grew by one
+  Redundant,     ///< linear combination of existing equations, same rhs
+  Inconsistent,  ///< linear combination of existing equations, rhs differs
+};
+
+/// Incremental GF(2) Gaussian elimination over up to `vars` variables.
+/// Equations are (coefficient mask, rhs bit); the pivot basis keeps one row
+/// per leading (highest set) bit.  Copyable: a plain copy is a snapshot.
+class Gf2Solver {
+ public:
+  Gf2Solver() = default;
+  explicit Gf2Solver(unsigned vars) : vars_(vars), pivot_(vars, 0),
+                                      rhs_(vars, 0), has_(vars, 0) {}
+
+  unsigned vars() const { return vars_; }
+  unsigned rank() const { return rank_; }
+
+  /// Reduce (coeffs, rhs) against the basis and insert if independent.
+  /// An Inconsistent equation leaves the solver unchanged.
+  Gf2Add add(std::uint64_t coeffs, bool rhs);
+
+  /// True iff adding (coeffs, rhs) would return Inconsistent (no mutation).
+  bool conflicts(std::uint64_t coeffs, bool rhs) const;
+
+  /// Particular solution with every free (pivot-less) variable taken from
+  /// the matching bit of `free_values`.  The basis is kept reduced (each
+  /// pivot row's trailing bits only involve free variables or lower pivots),
+  /// so one pass from low to high bits back-substitutes exactly.
+  std::uint64_t solve(std::uint64_t free_values = 0) const;
+
+ private:
+  unsigned vars_ = 0;
+  unsigned rank_ = 0;
+  std::vector<std::uint64_t> pivot_;  ///< row with leading bit i (0 if none)
+  std::vector<std::uint8_t> rhs_;     ///< rhs of pivot row i
+  std::vector<std::uint8_t> has_;     ///< pivot row i present
+};
+
+}  // namespace bist

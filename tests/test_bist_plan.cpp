@@ -215,13 +215,35 @@ int main() {
     CHECK_EQ(pa.topoff_patterns, pt.topoff_patterns);
     CHECK(pa.topoff == pt.topoff);
     CHECK_EQ(pa.final_coverage, pt.final_coverage);
-    CHECK_EQ(pa.rom_bits, pt.topoff_patterns * n.input_count());
+    // Compressed by default: decoded ROM holds only the fallback rows, the
+    // seed ROM the reseeding schedules, and the plan carries the point's
+    // compression artifacts verbatim.
+    CHECK(pa.comp.enabled);
+    CHECK_EQ(pa.rom_bits, pa.comp.fallback_rows() * n.input_count());
+    CHECK_EQ(pa.area.seed_rom_bits, pa.comp.seed_rom_bits());
+    CHECK_EQ(pa.area.misr_bits,
+             std::size_t{misr_spec_for(n.output_count()).degree});
+    CHECK_EQ(pa.comp.fallback.size(), pt.topoff.size());
+    CHECK(pa.rom_bits + pa.area.seed_rom_bits <=
+          pt.topoff_patterns * n.input_count());
     CHECK_EQ(pa.lfsr_taps, Lfsr::primitive_taps(so.lfsr_degree));
 
     ScheduleOptions wc = so;
     wc.objective = ScheduleObjective::WeightedCost;
     CHECK(same_plan(schedule_bist(swa, n.input_count(), wc),
                     schedule_bist(swb, n.input_count(), wc)));
+
+    // Legacy decoded mode: the pre-compression accounting, bit for bit.
+    MixedTpgOptions lopt = opt;
+    lopt.compress = false;
+    const MixedSweepResult swl = run_mixed_sweep(k, a, lopt);
+    const BistPlan pl = schedule_bist(swl, n.input_count(), so);
+    CHECK(!pl.comp.enabled);
+    const MixedSchemeResult& lp = swl.points[pl.point_index];
+    CHECK_EQ(pl.rom_bits, lp.topoff_patterns * n.input_count());
+    CHECK_EQ(pl.area.seed_rom_bits, std::size_t{0});
+    CHECK_EQ(pl.area.misr_bits, std::size_t{0});
+    CHECK_EQ(pl.topoff.size(), pl.topoff_patterns);
   }
 
   return bist_test::summary();

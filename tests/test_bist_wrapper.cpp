@@ -49,14 +49,18 @@ bool set_identical(std::vector<BitVec> a, std::vector<BitVec> b) {
 void check_wrapper(const Netlist& cut, const BistPlan& plan,
                    const MixedSchemeResult& point) {
   const BistSynthResult syn = synthesize_bist_wrapper(cut, plan);
+  const unsigned K = plan.comp.enabled && plan.comp.misr.enabled()
+                         ? plan.comp.misr.degree
+                         : 0;
   CHECK(syn.wrapper.frozen());
   CHECK(syn.bist_gates > 0);
   CHECK_EQ(syn.actual.rom_bits, plan.rom_bits);
   CHECK_EQ(syn.counter_bits, counter_width(plan.test_time));
   CHECK_EQ(syn.wrapper.input_count(),
-           plan.lfsr_degree + syn.counter_bits);
-  CHECK_EQ(syn.wrapper.output_count(),
-           cut.output_count() + plan.lfsr_degree + syn.counter_bits);
+           plan.lfsr_degree + syn.counter_bits + K);
+  CHECK_EQ(syn.wrapper.output_count(), cut.output_count() + plan.lfsr_degree +
+                                           syn.counter_bits + K +
+                                           (K > 0 ? 1 : 0));
 
   // The synthesizer's per-block accounting is exact: wrapper area minus the
   // CUT copy equals the emitted BIST logic (state bits are priced as
@@ -72,10 +76,14 @@ void check_wrapper(const Netlist& cut, const BistPlan& plan,
   // block by block.
   CHECK(std::abs(plan.area.lfsr - syn.actual.lfsr) < 1e-6);
   CHECK(std::abs(plan.area.rom - syn.actual.rom) < 1e-6);
+  CHECK(std::abs(plan.area.seed_rom - syn.actual.seed_rom) < 1e-6);
   CHECK(std::abs(plan.area.controller - syn.actual.controller) < 1e-6);
   CHECK(std::abs(plan.area.mux - syn.actual.mux) < 1e-6);
+  CHECK(std::abs(plan.area.misr - syn.actual.misr) < 1e-6);
   CHECK_EQ(plan.area.state_bits, syn.actual.state_bits);
   CHECK_EQ(plan.area.rom_bits, syn.actual.rom_bits);
+  CHECK_EQ(plan.area.seed_rom_bits, syn.actual.seed_rom_bits);
+  CHECK_EQ(plan.area.misr_bits, syn.actual.misr_bits);
 
   // The generated hardware survives its own serialization: write, re-parse,
   // and run the verification loop on the re-parsed netlist.
@@ -86,10 +94,20 @@ void check_wrapper(const Netlist& cut, const BistPlan& plan,
   CHECK(v.lfsr_phase_identical);
   CHECK(v.topoff_identical);
   CHECK(v.coverage_identical);
+  CHECK(v.seeds_identical);
+  CHECK(v.signature_identical);
   CHECK(v.ok());
   CHECK_EQ(v.cycles, plan.test_time);
   CHECK_EQ(v.achieved_coverage, point.final_coverage);
   CHECK_EQ(v.achieved_coverage_weighted, point.final_coverage_weighted);
+  if (K > 0) {
+    CHECK_EQ(v.misr_signature, plan.comp.golden);
+    // Empirical aliasing audit: on the surrogate family no detected fault's
+    // signature collides with the golden one.
+    CHECK_EQ(v.aliasing.escapes, std::size_t{0});
+    CHECK(v.aliasing.detected_checked > 0 || plan.final_coverage == 0.0);
+    CHECK(v.aliasing.bound <= 1.0 / 65536.0);  // K >= 16
+  }
 
   // Independent extraction: the raw simulation result splits into the two
   // phases, set-identical ROM phase included.
@@ -99,12 +117,16 @@ void check_wrapper(const Netlist& cut, const BistPlan& plan,
                                 ws.applied.end());
   CHECK(set_identical(rom_phase, plan.topoff));
 
-  // The LFSR inside the wrapper free-runs through both phases: its final
-  // state must match the software LFSR advanced test_time patterns.
-  Lfsr ref(plan.lfsr_degree, plan.lfsr_taps, plan.lfsr_seed);
-  for (std::size_t t = 0; t < plan.test_time; ++t)
-    ref.next_pattern(cut.input_count());
-  CHECK_EQ(ws.final_lfsr_state, ref.state());
+  // Without seed loads the LFSR free-runs through both phases: its final
+  // state must match the software LFSR advanced test_time patterns.  With
+  // reseeding the top-off phase overwrites the register (by design); the
+  // applied-pattern identities above pin down everything observable.
+  if (!plan.comp.enabled || plan.comp.seeds.empty()) {
+    Lfsr ref(plan.lfsr_degree, plan.lfsr_taps, plan.lfsr_seed);
+    for (std::size_t t = 0; t < plan.test_time; ++t)
+      ref.next_pattern(cut.input_count());
+    CHECK_EQ(ws.final_lfsr_state, ref.state());
+  }
 }
 
 }  // namespace
@@ -137,18 +159,43 @@ int main() {
       check_wrapper(cut, fast, sw.points[fast.point_index]);
   }
 
-  // T=0 degenerate wrapper: c17's tail is empty at moderate lengths, so the
-  // plan stores no ROM and the wrapper is LFSR + counter + buffers only.
-  {
+  // Legacy decoded-ROM wrapper (compress=false): the pre-refactor
+  // architecture stays synthesizable and verified through the same loop.
+  for (const std::string& name : {std::string("c432s"), std::string("c880s")}) {
+    const Netlist cut = make_iscas85(name);
+    const SimKernel k(cut);
+    MixedTpgOptions opt;
+    opt.compress = false;
+    opt.podem.backtrack_limit = 20;
+    const std::vector<std::size_t> lengths{128, 256};
+    const MixedSweepResult sw = run_mixed_sweep(k, lengths, opt);
+    ScheduleOptions so;
+    so.lfsr_degree = opt.lfsr_degree;
+    so.lfsr_seed = opt.lfsr_seed;
+    const BistPlan plan = schedule_bist(sw, cut.input_count(), so);
+    CHECK(!plan.comp.enabled);
+    check_wrapper(cut, plan, sw.points[plan.point_index]);
+  }
+
+  // T=0 degenerate wrapper in both modes: c17's tail is empty at moderate
+  // lengths, so the plan stores no ROM.  Compressed, that still carries a
+  // MISR (golden over the pseudo-random phase alone); legacy it is LFSR +
+  // counter + buffers only — and in both modes the closed-form estimate
+  // matches the synthesized breakdown gate for gate (checked inside
+  // check_wrapper).
+  for (const bool compress : {true, false}) {
     const Netlist cut = make_iscas85("c17");
     const SimKernel k(cut);
     MixedTpgOptions opt;
+    opt.compress = compress;
     const std::vector<std::size_t> lengths{256};
     const MixedSweepResult sw = run_mixed_sweep(k, lengths, opt);
     CHECK_EQ(sw.points[0].topoff_patterns, std::size_t{0});
     const BistPlan plan = schedule_bist(sw, cut.input_count());
     CHECK_EQ(plan.topoff_patterns, std::size_t{0});
     CHECK_EQ(plan.rom_bits, std::size_t{0});
+    CHECK_EQ(plan.comp.enabled, compress);
+    if (compress) CHECK(plan.comp.seeds.empty());
     check_wrapper(cut, plan, sw.points[plan.point_index]);
   }
 

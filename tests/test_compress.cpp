@@ -1,0 +1,231 @@
+// Unit tests of the test-data compression layer (bist/compress): the
+// reseeding solver's round-trip guarantee (every care bit of a cube is
+// reproduced by the seed expansion), its fallback-by-cost rule, the
+// MISR fold/step/signature helpers, and the empirical aliasing audit on a
+// real circuit.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bist/compress.hpp"
+#include "circuits/iscas85_family.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/kernel.hpp"
+#include "test_util.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/rng.hpp"
+
+using namespace bist;
+
+namespace {
+
+// Deterministic free-bit source that counts its draws.
+struct CountedBits {
+  Rng rng;
+  std::size_t drawn = 0;
+  explicit CountedBits(std::uint64_t seed) : rng(seed) {}
+  bool next() {
+    ++drawn;
+    return rng.next_bool();
+  }
+};
+
+Ternary care(bool v) { return v ? Ternary::V1 : Ternary::V0; }
+
+// --- compress_cube --------------------------------------------------------
+
+void test_roundtrip_random_cubes() {
+  // Random cubes over several degrees and widths: whatever route the solver
+  // takes (seeds or fallback), the emitted pattern must honor every care
+  // bit, seeded rows must re-expand to exactly the stored pattern, and seed
+  // offsets must be degree-aligned and strictly ascending.
+  Rng rng(0xBEEF);
+  for (const unsigned D : {8u, 16u, 24u, 32u}) {
+    const std::uint64_t taps = Lfsr::primitive_taps(D);
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::size_t w = 1 + rng.next_below(4 * D);
+      const double density = 0.1 + 0.8 * rng.next_double();
+      std::vector<Ternary> cube(w, Ternary::VX);
+      for (std::size_t i = 0; i < w; ++i)
+        if (rng.next_bool(density)) cube[i] = care(rng.next_bool());
+
+      CountedBits bits(trial);
+      const RowCompression rc =
+          compress_cube(cube, D, taps, [&bits] { return bits.next(); });
+
+      CHECK_EQ(rc.pattern.size(), w);
+      for (std::size_t i = 0; i < w; ++i)
+        if (cube[i] != Ternary::VX)
+          CHECK_EQ(rc.pattern.get(i), cube[i] == Ternary::V1);
+
+      if (w <= D) CHECK(rc.fallback);  // a seed can never beat the row
+      if (rc.fallback) {
+        CHECK(rc.seeds.empty());
+        // One draw per X bit, cube order.
+        std::size_t xs = 0;
+        for (const Ternary t : cube) xs += t == Ternary::VX;
+        CHECK_EQ(bits.drawn, xs);
+      } else {
+        CHECK(!rc.seeds.empty());
+        CHECK(rc.seeds.size() * D < w);  // strictly beats the decoded row
+        std::uint32_t prev_off = 0;
+        for (std::size_t si = 0; si < rc.seeds.size(); ++si) {
+          CHECK_EQ(rc.seeds[si].offset % D, 0u);
+          if (si) CHECK(rc.seeds[si].offset > prev_off);
+          prev_off = rc.seeds[si].offset;
+        }
+        CHECK(expand_row(rc.seeds, D, taps, w) == rc.pattern);
+        CHECK_EQ(bits.drawn, rc.seeds.size() * D);  // D free vars per seed
+      }
+    }
+  }
+}
+
+void test_single_seed_sparse_cube() {
+  // A sparse cube much wider than the degree compresses into one seed.
+  const unsigned D = 16;
+  const std::uint64_t taps = Lfsr::primitive_taps(D);
+  std::vector<Ternary> cube(6 * D, Ternary::VX);
+  cube[3] = Ternary::V1;
+  cube[40] = Ternary::V0;
+  cube[77] = Ternary::V1;
+  CountedBits bits(1);
+  const RowCompression rc =
+      compress_cube(cube, D, taps, [&bits] { return bits.next(); });
+  CHECK(!rc.fallback);
+  CHECK_EQ(rc.seeds.size(), std::size_t{1});
+  CHECK_EQ(rc.seeds[0].offset, 0u);
+  CHECK(rc.pattern.get(3));
+  CHECK(!rc.pattern.get(40));
+  CHECK(rc.pattern.get(77));
+}
+
+void test_fully_specified_falls_back() {
+  // A fully specified random cube of width 2D forces a reseed roughly every
+  // D bits, so the seed schedule can never undercut the decoded row and the
+  // solver must fall back (this is the c6288s regime: w = 2D, cubes dense).
+  const unsigned D = 16;
+  const std::uint64_t taps = Lfsr::primitive_taps(D);
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Ternary> cube(2 * D);
+    for (auto& t : cube) t = care(rng.next_bool());
+    CountedBits bits(trial);
+    const RowCompression rc =
+        compress_cube(cube, D, taps, [&bits] { return bits.next(); });
+    CHECK(rc.fallback);
+    for (std::size_t i = 0; i < cube.size(); ++i)
+      CHECK_EQ(rc.pattern.get(i), cube[i] == Ternary::V1);
+  }
+}
+
+// --- MISR helpers ---------------------------------------------------------
+
+void test_misr_spec_and_fold() {
+  CHECK_EQ(misr_degree_for(2), 16u);    // floor
+  CHECK_EQ(misr_degree_for(20), 20u);   // pass-through
+  CHECK_EQ(misr_degree_for(140), 24u);  // cap
+  const MisrSpec m = misr_spec_for(40);
+  CHECK_EQ(m.degree, 24u);
+  CHECK(m.enabled());
+  CHECK(m.fold.empty());
+  CHECK_EQ(m.cls(0), 0u);
+  CHECK_EQ(m.cls(25), 1u);  // natural o mod K
+  const std::vector<std::uint16_t> map = fold_map(m, 40);
+  CHECK_EQ(map.size(), std::size_t{40});
+  for (std::size_t o = 0; o < map.size(); ++o) CHECK_EQ(map[o], o % 24);
+
+  // An explicit fold overrides the modulo rule.
+  MisrSpec f = m;
+  f.fold.assign(40, 0);
+  f.fold[7] = 13;
+  CHECK_EQ(f.cls(7), 13u);
+  CHECK_EQ(f.cls(8), 0u);
+
+  BitVec outs(40);
+  outs.set(7, true);
+  outs.set(8, true);
+  CHECK_EQ(misr_fold(f, outs), (std::uint64_t{1} << 13) | 1u);
+  // Natural fold: outputs 0 and 24 collide in stage 0 — the structural
+  // cancellation choose_misr_fold exists to break.
+  BitVec pair(40);
+  pair.set(0, true);
+  pair.set(24, true);
+  CHECK_EQ(misr_fold(m, pair), std::uint64_t{0});
+}
+
+void test_misr_step_linearity() {
+  // misr_step(s, i) = raw_step(s) ^ i implies signatures are linear in the
+  // injection stream: step(a^b, i^j) == step(a,i) ^ step(b,j) ^ step(0,0).
+  const MisrSpec m = misr_spec_for(16);
+  Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t mask = (std::uint64_t{1} << m.degree) - 1;
+    const std::uint64_t a = rng.next_u64() & mask, b = rng.next_u64() & mask;
+    const std::uint64_t i = rng.next_u64() & mask, j = rng.next_u64() & mask;
+    CHECK_EQ(misr_step(m, a ^ b, i ^ j),
+             misr_step(m, a, i) ^ misr_step(m, b, j) ^ misr_step(m, 0, 0));
+  }
+}
+
+void test_signature_chaining_and_audit() {
+  // Golden-signature chaining (two halves == one run) plus the empirical
+  // aliasing audit on a real CUT: every fault the stream detects must
+  // perturb the signature (zero escapes on c880s' audited fold).
+  const Netlist cut = make_iscas85("c880s");
+  const SimKernel k(cut);
+  const MisrSpec m = misr_spec_for(cut.output_count());
+
+  Lfsr lfsr = Lfsr::maximal(24, 1);
+  const std::size_t n = 192;
+  const std::vector<PatternBlock> blocks = lfsr.blocks(cut.input_count(), n);
+  const std::uint64_t whole = misr_signature(k, blocks, m, 0);
+  const std::uint64_t half1 =
+      misr_signature(k, std::span(blocks).first(2), m, 0);
+  const std::uint64_t half2 =
+      misr_signature(k, std::span(blocks).subspan(2), m, half1);
+  CHECK_EQ(half2, whole);
+
+  FaultSimulator fsim(k);
+  const FaultSimResult fr = fsim.run(blocks);
+  CHECK(fr.detected > 0);
+  const MisrSpec chosen =
+      choose_misr_fold(fsim, k, blocks, n, fr.first_detected, m);
+  const AliasingReport rep =
+      misr_aliasing_check(fsim, k, blocks, n, chosen, fr.first_detected);
+  CHECK_EQ(rep.detected_checked, fr.detected);
+  CHECK_EQ(rep.escapes, std::size_t{0});
+  CHECK(rep.bound <= 1.0 / 65536.0);
+}
+
+void test_expand_row_reseed_overwrite() {
+  // A mid-stream reseed overwrites the register: bits after the event come
+  // from the new seed's expansion, and the first `degree` of them spell the
+  // seed out MSB-first (the identity window).
+  const unsigned D = 8;
+  const std::uint64_t taps = Lfsr::primitive_taps(D);
+  std::vector<SeedEvent> ev(2);
+  ev[0].offset = 0;
+  ev[0].seed = 0xA5;
+  ev[1].offset = 16;
+  ev[1].seed = 0x3C;
+  const BitVec p = expand_row(ev, D, taps, 32);
+  for (unsigned t = 0; t < D; ++t) {
+    CHECK_EQ(p.get(t), bool((0xA5 >> (D - 1 - t)) & 1));
+    CHECK_EQ(p.get(16 + t), bool((0x3C >> (D - 1 - t)) & 1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  test_roundtrip_random_cubes();
+  test_single_seed_sparse_cube();
+  test_fully_specified_falls_back();
+  test_misr_spec_and_fold();
+  test_misr_step_linearity();
+  test_signature_chaining_and_audit();
+  test_expand_row_reseed_overwrite();
+  return bist_test::summary();
+}
