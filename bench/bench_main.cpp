@@ -58,6 +58,19 @@
 // encoding of the same top-off set, and the empirical aliasing audit
 // (aliasing_escapes must be 0 for wrapper_matches_plan to hold).
 //
+// Batch (jobs) mode: --jobs switches to the fault-tolerant pipeline driver
+// (run_job_batch) — one JobSpec per circuit, same knobs as the classic
+// sections.  --cache-dir DIR (implies --jobs) attaches the durable
+// content-addressed ResultStore: sweep results are served from / published
+// to DIR, corrupt records quarantine and recompute, and the batch journals
+// completed jobs to DIR/batch.manifest so --resume replays them after a
+// crash (kill -9 mid-batch, rerun with --resume: finished circuits come
+// back from the journal, the interrupted one recomputes, usually from the
+// sweep cache).  --retries N arms bounded deterministic retry for transient
+// stage failures.  Jobs mode emits BENCH JSON {"bench": "job_batch", ...}
+// with per-job cache/stage/attempt detail and aggregate cache_stats, and
+// exits nonzero if any job ends in an Error status.
+//
 // Usage: bench_fault_sim [--patterns N] [--reps N] [--threads N] [--width W]
 //                        [--circuits c17,c6288s,...]
 //                        [--podem-backtracks N] [--no-mixed]
@@ -66,6 +79,7 @@
 //                        [--no-bist] [--no-compress] [--budget N]
 //                        [--wrapper-dir DIR]
 //                        [--deadline-ms D] [--job-timeout-ms J]
+//                        [--jobs] [--cache-dir DIR] [--resume] [--retries N]
 //                        [--out FILE] [--plot]
 
 #include <algorithm>
@@ -73,6 +87,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -80,6 +95,8 @@
 #include "bist/schedule.hpp"
 #include "bist/synth.hpp"
 #include "bist/verify.hpp"
+#include "pipeline/job.hpp"
+#include "store/result_store.hpp"
 #include "circuits/iscas85_family.hpp"
 #include "fault/fault_sim.hpp"
 #include "netlist/bench_io.hpp"
@@ -218,6 +235,167 @@ namespace {
 
 int run_bench(int argc, char** argv);
 
+// --- Jobs mode: fault-tolerant batch pipeline with durable caching ---------
+struct JobModeConfig {
+  std::vector<std::string> names;
+  std::size_t patterns = 0;
+  std::vector<std::size_t> sweep_lengths;
+  bist::FaultSimOptions fopt;
+  unsigned threads = 0;
+  std::uint32_t podem_backtracks = 100;
+  bool compress = true;
+  std::size_t budget = 0;
+  std::string wrapper_dir;
+  double deadline_ms = 0;
+  double job_timeout_ms = 0;
+  std::string cache_dir;
+  bool resume = false;
+  unsigned retries = 1;
+  std::string out_path;
+};
+
+int run_job_mode(const JobModeConfig& cfg) {
+  std::vector<bist::JobSpec> specs;
+  specs.reserve(cfg.names.size());
+  for (const std::string& name : cfg.names) {
+    bist::JobSpec spec;
+    spec.name = name;
+    spec.bench_text = bist::write_bench(bist::make_iscas85(name));
+    spec.sweep_lengths = cfg.sweep_lengths;
+    spec.tpg.lfsr_patterns = cfg.patterns;
+    spec.tpg.fsim = cfg.fopt;
+    spec.tpg.podem.backtrack_limit = cfg.podem_backtracks;
+    spec.tpg.podem_threads = cfg.threads;
+    spec.tpg.compress = cfg.compress;
+    spec.schedule.test_time_budget = cfg.budget;
+    spec.schedule.lfsr_degree = spec.tpg.lfsr_degree;
+    spec.schedule.lfsr_seed = spec.tpg.lfsr_seed;
+    spec.sweep_deadline_s = cfg.deadline_ms / 1000.0;
+    spec.job_timeout_s = cfg.job_timeout_ms / 1000.0;
+    spec.retry.attempts = std::max(1u, cfg.retries);
+    specs.push_back(std::move(spec));
+  }
+
+  // The store and the manifest live side by side under --cache-dir; a batch
+  // without one runs uncached (and --resume has nothing to replay from).
+  std::unique_ptr<bist::ResultStore> store;
+  bist::BatchOptions bo;
+  bo.threads = cfg.threads;
+  bo.resume = cfg.resume;
+  if (!cfg.cache_dir.empty()) {
+    bist::StoreOptions so;
+    so.dir = cfg.cache_dir;
+    store = std::make_unique<bist::ResultStore>(std::move(so));
+    bo.store = store.get();
+    bo.manifest_path = cfg.cache_dir + "/batch.manifest";
+  } else if (cfg.resume) {
+    std::cerr << "note: --resume without --cache-dir has no manifest to "
+                 "replay; running cold\n";
+  }
+
+  const auto t0 = Clock::now();
+  const bist::BatchResult batch = bist::run_job_batch(specs, bo);
+  const double batch_secs = seconds_since(t0);
+
+  bool any_error = false;
+  std::uint64_t retry_attempts = 0;  // extra tries beyond the first, all stages
+  std::ostringstream js;
+  js << "{\n  \"bench\": \"job_batch\",\n  \"patterns\": " << cfg.patterns
+     << ",\n  \"retries\": " << cfg.retries
+     << ",\n  \"resume\": " << (cfg.resume ? "true" : "false")
+     << ",\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < batch.reports.size(); ++i) {
+    const bist::JobReport& rep = batch.reports[i];
+    any_error = any_error || rep.status.code == bist::StageCode::Error;
+
+    if (!rep.wrapper_bench.empty() && !cfg.wrapper_dir.empty()) {
+      const std::string wf = cfg.wrapper_dir + "/wrapper_" + rep.name + ".bench";
+      std::ofstream f(wf);
+      f << rep.wrapper_bench;
+      f.flush();
+      if (!f) std::cerr << "warning: could not write " << wf << "\n";
+    }
+
+    const char* source = rep.cache.manifest ? "manifest"
+                         : rep.cache.hit    ? "cache"
+                                            : "computed";
+    std::cout << rep.name << ": job "
+              << bist::stage_code_name(rep.status.code) << " (" << source
+              << "), L=" << rep.plan.lfsr_patterns << " + "
+              << rep.plan.topoff_patterns << " ROM, coverage "
+              << bist::format_fixed(100 * rep.plan.final_coverage, 2)
+              << "%, wrapper "
+              << (rep.wrapper_ok ? "ok" : "NOT VERIFIED")
+              << (rep.degraded ? " [DEGRADED]" : "") << " ("
+              << bist::format_fixed(rep.seconds, 2) << "s)\n";
+
+    js << (i ? ",\n" : "") << "    {\n      \"name\": " << json_str(rep.name)
+       << ",\n      \"status\": "
+       << json_str(std::string(bist::stage_code_name(rep.status.code)))
+       << ",\n      \"degraded\": " << (rep.degraded ? "true" : "false")
+       << ",\n      \"wrapper_ok\": " << (rep.wrapper_ok ? "true" : "false")
+       << ",\n      \"cache\": {\"consulted\": "
+       << (rep.cache.consulted ? "true" : "false")
+       << ", \"hit\": " << (rep.cache.hit ? "true" : "false")
+       << ", \"stored\": " << (rep.cache.stored ? "true" : "false")
+       << ", \"quarantined\": " << (rep.cache.quarantined ? "true" : "false")
+       << ", \"manifest\": " << (rep.cache.manifest ? "true" : "false")
+       << ", \"note\": " << json_str(rep.cache.note) << "},\n"
+       << "      \"stages\": [";
+    for (std::size_t s = 0; s < rep.stages.size(); ++s) {
+      const bist::StageReport& sr = rep.stages[s];
+      retry_attempts += sr.attempts > 0 ? sr.attempts - 1 : 0;
+      js << (s ? ", " : "") << "{\"name\": " << json_str(sr.name)
+         << ", \"status\": "
+         << json_str(std::string(bist::stage_code_name(sr.status.code)))
+         << ", \"attempts\": " << sr.attempts
+         << ", \"seconds\": " << json_num(sr.seconds) << "}";
+    }
+    js << "],\n"
+       << "      \"chosen_length\": " << rep.plan.lfsr_patterns << ",\n"
+       << "      \"topoff_patterns\": " << rep.plan.topoff_patterns << ",\n"
+       << "      \"test_time\": " << rep.plan.test_time << ",\n"
+       << "      \"rom_bits\": " << rep.plan.rom_bits << ",\n"
+       << "      \"area_bits\": " << rep.plan.area.area_bits() << ",\n"
+       << "      \"final_coverage\": " << json_num(rep.plan.final_coverage)
+       << ",\n"
+       << "      \"selfsim_cycles\": " << rep.verification.cycles << ",\n"
+       << "      \"selfsim_coverage\": "
+       << json_num(rep.verification.achieved_coverage) << ",\n"
+       << "      \"seconds\": " << json_num(rep.seconds) << "\n    }";
+  }
+  const bist::StoreStats ss =
+      store ? store->stats() : bist::StoreStats{};
+  js << "\n  ],\n  \"cache_stats\": {\"sweep_hits\": " << ss.hits
+     << ", \"sweep_misses\": " << ss.misses << ", \"stored\": " << ss.stores
+     << ", \"store_failures\": " << ss.store_failures
+     << ", \"quarantined\": " << ss.quarantined
+     << ", \"manifest_loaded\": " << batch.manifest_loaded
+     << ", \"manifest_hits\": " << batch.manifest_hits
+     << ", \"retry_attempts\": " << retry_attempts
+     << "},\n  \"seconds\": " << json_num(batch_secs) << "\n}\n";
+
+  std::ofstream out(cfg.out_path);
+  out << js.str();
+  out.flush();
+  if (!out) {
+    std::cerr << "error: could not write " << cfg.out_path << "\n";
+    return 1;
+  }
+  std::cout << "batch: " << batch.reports.size() << " jobs in "
+            << bist::format_fixed(batch_secs, 2) << "s — sweep cache "
+            << ss.hits << " hits / " << ss.misses << " misses, " << ss.stores
+            << " stored, " << ss.quarantined << " quarantined, manifest "
+            << batch.manifest_hits << "/" << batch.manifest_loaded
+            << " replayed, " << retry_attempts << " retries\n";
+  std::cout << "wrote " << cfg.out_path << "\n";
+  if (any_error) {
+    std::cerr << "error: a job ended in an Error status\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,6 +429,10 @@ int run_bench(int argc, char** argv) {
   std::string wrapper_dir = ".";   // where wrapper_<circuit>.bench lands
   double deadline_ms = 0;          // anytime deadline per timed section, 0 = off
   double job_timeout_ms = 0;       // wall-clock cap per circuit pipeline, 0 = off
+  bool jobs_mode = false;          // run the fault-tolerant batch pipeline
+  std::string cache_dir;           // durable sweep store root; implies jobs
+  bool resume = false;             // replay the batch manifest; implies jobs
+  unsigned retries = 1;            // stage attempts (1 = no retry)
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -295,6 +477,16 @@ int run_bench(int argc, char** argv) {
       deadline_ms = std::stod(next());
     } else if (a == "--job-timeout-ms") {
       job_timeout_ms = std::stod(next());
+    } else if (a == "--jobs") {
+      jobs_mode = true;
+    } else if (a == "--cache-dir") {
+      cache_dir = next();
+      jobs_mode = true;
+    } else if (a == "--resume") {
+      resume = true;
+      jobs_mode = true;
+    } else if (a == "--retries") {
+      retries = static_cast<unsigned>(std::stoul(next()));
     } else if (a == "--sweep-lengths") {
       sweep_lengths.clear();
       const std::string list = next();
@@ -313,6 +505,7 @@ int run_bench(int argc, char** argv) {
                    "[--no-bist] [--no-compress] [--budget N] "
                    "[--wrapper-dir DIR] "
                    "[--deadline-ms D] [--job-timeout-ms J] "
+                   "[--jobs] [--cache-dir DIR] [--resume] [--retries N] "
                    "[--out FILE] [--plot]\n";
       return 2;
     }
@@ -343,6 +536,27 @@ int run_bench(int argc, char** argv) {
   bist::FaultSimOptions fopt;
   fopt.threads = threads;
   fopt.word_width = width;
+
+  if (jobs_mode) {
+    JobModeConfig cfg;
+    cfg.names = names;
+    cfg.patterns = patterns;
+    cfg.sweep_lengths = sweep_lengths;
+    cfg.fopt = fopt;
+    cfg.threads = threads;
+    cfg.podem_backtracks = podem_backtracks;
+    cfg.compress = compress;
+    cfg.budget = budget;
+    cfg.wrapper_dir = wrapper_dir;
+    cfg.deadline_ms = deadline_ms;
+    cfg.job_timeout_ms = job_timeout_ms;
+    cfg.cache_dir = cache_dir;
+    cfg.resume = resume;
+    cfg.retries = retries;
+    cfg.out_path = out_path == "BENCH_fault_sim.json" ? "BENCH_job_batch.json"
+                                                      : out_path;
+    return run_job_mode(cfg);
+  }
 
   std::ostringstream js;
   js << "{\n  \"bench\": \"fault_sim\",\n  \"patterns\": " << patterns

@@ -21,7 +21,8 @@ std::string pair_name(const char* prefix, std::size_t i, std::size_t j) {
 }  // namespace
 
 BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
-                                        const BistPlan& plan) {
+                                        const BistPlan& plan,
+                                        const Deadline* deadline) {
   if (!cut.frozen())
     throw std::invalid_argument("synthesize_bist_wrapper: CUT not frozen");
   const std::size_t w = cut.input_count();
@@ -45,6 +46,15 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
   res.counter_bits = C;
   const AreaModel& m = plan.area_model;
   NetlistBuilder b(cut.name() + "_bist");
+
+  // Cooperative mid-stage stop: on a hit the caller gets the stop status and
+  // an empty wrapper (the half-built NetlistBuilder is simply dropped —
+  // forward references never get resolved because build() never runs).
+  const auto stopped = [&] {
+    if (!deadline || !deadline->should_stop()) return false;
+    res.status = deadline->stop_status("synth");
+    return true;
+  };
 
   // Every emitted BIST gate goes through one of these, so res.actual is the
   // exact price of the generated test logic under the plan's model.
@@ -82,6 +92,7 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
   for (unsigned j = 0; j < D; ++j) stage[j] = idx_name("bist_lfsr_s", j);
   std::vector<std::string> pattern(w);
   for (std::size_t t = 0; t < w; ++t) {
+    if (stopped()) return res;
     // Reseeding load mux: when any row reloads the register at this offset,
     // every register bit becomes OR(AND(sel', cur), seed_col) — the seed
     // column is an OR over the (one-hot) decodes of the rows whose seed bit
@@ -171,6 +182,7 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
     return cnt_inv[i];
   };
   for (std::size_t j = 0; j < T; ++j) {
+    if (stopped()) return res;
     const std::size_t addr = plan.lfsr_patterns + j;
     std::vector<std::string> lits;
     for (std::size_t i = 0; i < C; ++i)
@@ -206,6 +218,7 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
   // The mux output takes the CUT input's (prefixed) net name, so the copied
   // CUT gates below reference it without any remapping table.
   for (std::size_t i = 0; i < w; ++i) {
+    if (stopped()) return res;
     const std::string cut_in =
         "cut_" + cut.gate(cut.inputs()[i]).name;
     if (det_rows.empty()) {
@@ -235,7 +248,10 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
   }
 
   // --- CUT copy -------------------------------------------------------------
+  // Poll every 4096 gates: one chunk of plain gate copies bounds the stop
+  // latency, and a netlist large enough to matter hits many chunks.
   for (GateId g = 0; g < cut.gate_count(); ++g) {
+    if ((g & 0xfff) == 0 && stopped()) return res;
     const Gate& gg = cut.gate(g);
     if (gg.type == GateType::Input) continue;  // driven by the mux above
     std::vector<std::string> fis;
@@ -251,6 +267,7 @@ BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
   // next state against the plan's golden signature — meaningful on the last
   // test cycle.
   if (K > 0) {
+    if (stopped()) return res;
     std::vector<std::string> tapped;
     for (unsigned j = 0; j < K; ++j)
       if ((comp.misr.taps >> j) & 1)

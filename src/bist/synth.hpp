@@ -45,6 +45,7 @@
 
 #include "bist/schedule.hpp"
 #include "netlist/netlist.hpp"
+#include "util/deadline.hpp"
 
 namespace bist {
 
@@ -55,12 +56,20 @@ struct BistSynthResult {
   BistArea actual;
   std::size_t bist_gates = 0;    ///< emitted BIST logic gates (CUT excluded)
   std::size_t counter_bits = 0;
+  /// Ok for a full build.  When the cooperative deadline fires mid-build the
+  /// status records why, `wrapper` is left EMPTY (a partial netlist is not a
+  /// wrapper) and the accounting fields cover only the gates emitted so far.
+  StageStatus status;
 };
 
 /// Synthesize the wrapper for `cut` (which must be frozen and match
 /// plan.width).  Deterministic for a given (cut, plan).  Throws
 /// std::invalid_argument on width mismatch or an empty (zero-cycle) plan.
+/// `deadline` is polled per LFSR unroll step, per ROM row, per CUT-copy
+/// chunk and per MISR stage (bounded stop latency, same contract as
+/// fault-sim/PODEM); nullptr never stops.
 BistSynthResult synthesize_bist_wrapper(const Netlist& cut,
-                                        const BistPlan& plan);
+                                        const BistPlan& plan,
+                                        const Deadline* deadline = nullptr);
 
 }  // namespace bist

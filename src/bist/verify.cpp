@@ -19,7 +19,8 @@ GateId require_net(const Netlist& n, const std::string& name) {
 }  // namespace
 
 WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
-                                  const BistPlan& plan) {
+                                  const BistPlan& plan,
+                                  const Deadline* deadline) {
   const unsigned D = plan.lfsr_degree;
   const std::size_t total = plan.test_time;
   const std::size_t C = counter_width(total);
@@ -65,6 +66,12 @@ WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
   WrapperSimResult r;
   r.applied.reserve(total);
   for (std::size_t cycle = 0; cycle < total; ++cycle) {
+    // One wrapper evaluation per poll: bounded stop latency, and the applied
+    // prefix stays exact (the checks read nothing the state depends on).
+    if (deadline && deadline->should_stop()) {
+      r.status = deadline->stop_status("simulate_wrapper");
+      break;
+    }
     for (auto& word : blk.input_words) word = 0;
     for (unsigned i = 0; i < D; ++i)
       if ((lfsr_state >> i) & 1)
@@ -103,13 +110,24 @@ WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
 WrapperVerification verify_wrapper(const Netlist& wrapper, const Netlist& cut,
                                    const BistPlan& plan,
                                    const MixedSchemeResult& point,
-                                   const FaultSimOptions& fopt) {
-  const WrapperSimResult ws = simulate_wrapper(wrapper, cut, plan);
+                                   const FaultSimOptions& fopt,
+                                   const Deadline* deadline) {
+  const Deadline* dl = deadline ? deadline : fopt.deadline;
+  const WrapperSimResult ws = simulate_wrapper(wrapper, cut, plan, dl);
   const std::size_t w = cut.input_count();
   const std::size_t L = plan.lfsr_patterns;
 
   WrapperVerification v;
   v.cycles = ws.applied.size();
+  if (!ws.status.ok()) {
+    // Stopped mid-simulation: no check below would be meaningful, and none
+    // ran — report the stop, with the would-be-true compressed-plan flags
+    // cleared so ok() cannot accidentally hold.
+    v.seeds_identical = false;
+    v.signature_identical = false;
+    v.status = ws.status;
+    return v;
+  }
 
   // The pseudo-random phase must be the Lfsr class's stream, bit for bit
   // (the harness applies exactly test_time patterns by construction, so the
@@ -132,7 +150,15 @@ WrapperVerification verify_wrapper(const Netlist& wrapper, const Netlist& cut,
   const SimKernel ck(cut);
   FaultSimulator fsim(ck);
   const std::vector<PatternBlock> blocks = pack_all(ws.applied, w);
-  const FaultSimResult fr = fsim.run(blocks, fopt);
+  FaultSimOptions fo = fopt;
+  fo.deadline = dl;
+  const FaultSimResult fr = fsim.run(blocks, fo);
+  if (!fr.status.ok()) {
+    v.seeds_identical = false;
+    v.signature_identical = false;
+    v.status = fr.status;
+    return v;
+  }
   v.achieved_coverage = fr.final_coverage();
   v.achieved_coverage_weighted = fr.final_coverage_weighted();
   v.coverage_identical = v.achieved_coverage == point.final_coverage &&

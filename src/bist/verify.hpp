@@ -38,6 +38,7 @@
 #include "netlist/netlist.hpp"
 #include "tpg/mixed.hpp"
 #include "util/bitvec.hpp"
+#include "util/deadline.hpp"
 
 namespace bist {
 
@@ -51,15 +52,20 @@ struct WrapperSimResult {
   /// MISR.
   std::uint64_t final_misr = 0;
   bool sign_ok = false;
+  /// Ok for a full run; a cooperative stop leaves the exact prefix of
+  /// cycles that DID run in `applied` and records why here.
+  StageStatus status;
 };
 
 /// Run the wrapper for plan.test_time cycles.  `cut` provides the input
 /// net names (the wrapper nets are resolved as "cut_<name>",
 /// "bist_lfsr_s<i>", ... per the synth conventions); the wrapper may be the
 /// synthesized netlist or a .bench re-parse of it.  Throws
-/// std::runtime_error when an expected net is missing.
+/// std::runtime_error when an expected net is missing.  `deadline` is
+/// polled once per cycle (bounded stop latency); nullptr never stops.
 WrapperSimResult simulate_wrapper(const Netlist& wrapper, const Netlist& cut,
-                                  const BistPlan& plan);
+                                  const BistPlan& plan,
+                                  const Deadline* deadline = nullptr);
 
 struct WrapperVerification {
   bool lfsr_phase_identical = false;
@@ -75,6 +81,10 @@ struct WrapperVerification {
   /// Empirical MISR aliasing audit over the applied stream (zeroed for a
   /// legacy plan): reported, not part of ok().
   AliasingReport aliasing;
+  /// Ok when every check ran; a cooperative stop (mid-simulation or inside
+  /// the coverage fault-sim pass) records why here and leaves the unreached
+  /// checks false — ok() is then false, but the stop is not an error.
+  StageStatus status;
   bool ok() const {
     return lfsr_phase_identical && topoff_identical && coverage_identical &&
            seeds_identical && signature_identical;
@@ -85,9 +95,12 @@ struct WrapperVerification {
 /// MixedSchemeResult the plan was chosen from, i.e.
 /// sweep.points[plan.point_index]).  `fopt` only selects the fault-sim
 /// engine configuration; detection results are engine-invariant.
+/// `deadline` (falling back to fopt.deadline when null) is polled per
+/// wrapper cycle and threaded into the coverage fault-sim pass.
 WrapperVerification verify_wrapper(const Netlist& wrapper, const Netlist& cut,
                                    const BistPlan& plan,
                                    const MixedSchemeResult& point,
-                                   const FaultSimOptions& fopt = {});
+                                   const FaultSimOptions& fopt = {},
+                                   const Deadline* deadline = nullptr);
 
 }  // namespace bist

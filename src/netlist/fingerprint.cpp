@@ -1,0 +1,41 @@
+#include "netlist/fingerprint.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace bist {
+
+Digest128 netlist_fingerprint(const Netlist& n) {
+  Hasher h;
+  h.str("bist-netlist-v1");
+
+  // PI and PO lists in their declared order — the order defines pattern and
+  // response bit positions, so it is part of the structure.
+  h.u64(n.input_count());
+  for (const GateId g : n.inputs()) h.str(n.gate(g).name);
+  h.u64(n.output_count());
+  for (const GateId g : n.outputs()) h.str(n.gate(g).name);
+
+  // Logic gates sorted by output net name.  Names are unique (netlist
+  // invariant) and fanins are referenced by name, so the fold is independent
+  // of GateId assignment / topological insertion order.
+  std::vector<GateId> logic;
+  logic.reserve(n.gate_count());
+  for (GateId g = 0; g < n.gate_count(); ++g)
+    if (n.gate(g).type != GateType::Input) logic.push_back(g);
+  std::sort(logic.begin(), logic.end(), [&](GateId a, GateId b) {
+    return n.gate(a).name < n.gate(b).name;
+  });
+
+  h.u64(logic.size());
+  for (const GateId g : logic) {
+    const Gate& gate = n.gate(g);
+    h.str(gate.name);
+    h.u8(static_cast<std::uint8_t>(gate.type));
+    h.u64(gate.fanins.size());
+    for (const GateId f : gate.fanins) h.str(n.gate(f).name);
+  }
+  return h.digest();
+}
+
+}  // namespace bist

@@ -1,0 +1,19 @@
+#pragma once
+// Canonical structural fingerprint of a netlist, used to key the result
+// store.  The fingerprint is a pure function of the circuit *structure* —
+// named nets, gate types, pin-ordered fanin connections, and PI/PO lists —
+// and is deliberately insensitive to the order gates were inserted in: two
+// construction orders that freeze to the same structure fingerprint
+// identically, and read_bench(write_bench(n)) round-trips to the same
+// digest.  The circuit's display name is excluded (renaming a file must not
+// invalidate its cache entries); PI/PO order is included because it is
+// semantically meaningful (it defines the pattern/response bit order).
+
+#include "netlist/netlist.hpp"
+#include "util/hash.hpp"
+
+namespace bist {
+
+Digest128 netlist_fingerprint(const Netlist& n);
+
+}  // namespace bist

@@ -1,0 +1,94 @@
+#include "store/record.hpp"
+
+namespace bist {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string_view record_check_name(RecordCheck c) {
+  switch (c) {
+    case RecordCheck::Ok: return "ok";
+    case RecordCheck::TooShort: return "too_short";
+    case RecordCheck::BadMagic: return "bad_magic";
+    case RecordCheck::BadVersion: return "bad_version";
+    case RecordCheck::BadLength: return "bad_length";
+    case RecordCheck::BadKey: return "bad_key";
+    case RecordCheck::BadChecksum: return "bad_checksum";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> frame_record(const Digest128& key,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kRecordHeaderSize + payload.size());
+  put_u32(out, kStoreMagic);
+  put_u32(out, kStoreFormatVersion);
+  put_u64(out, payload.size());
+  put_u64(out, fnv1a64(payload));
+  put_u64(out, key.hi);
+  put_u64(out, key.lo);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+ParsedRecord parse_record(std::span<const std::uint8_t> bytes,
+                          const Digest128* expect_key) {
+  ParsedRecord r;
+  if (bytes.size() < kRecordHeaderSize) {
+    r.check = RecordCheck::TooShort;
+    return r;
+  }
+  const std::uint8_t* p = bytes.data();
+  if (get_u32(p) != kStoreMagic) {
+    r.check = RecordCheck::BadMagic;
+    return r;
+  }
+  r.version = get_u32(p + 4);
+  const std::uint64_t len = get_u64(p + 8);
+  const std::uint64_t checksum = get_u64(p + 16);
+  r.key = Digest128{get_u64(p + 24), get_u64(p + 32)};
+  if (r.version != kStoreFormatVersion) {
+    r.check = RecordCheck::BadVersion;
+    return r;
+  }
+  if (len > bytes.size() - kRecordHeaderSize) {
+    r.check = RecordCheck::BadLength;
+    return r;
+  }
+  if (expect_key && !(r.key == *expect_key)) {
+    r.check = RecordCheck::BadKey;
+    return r;
+  }
+  const auto payload = bytes.subspan(kRecordHeaderSize, len);
+  if (fnv1a64(payload) != checksum) {
+    r.check = RecordCheck::BadChecksum;
+    return r;
+  }
+  r.check = RecordCheck::Ok;
+  r.payload = payload;
+  r.frame_size = kRecordHeaderSize + static_cast<std::size_t>(len);
+  return r;
+}
+
+}  // namespace bist

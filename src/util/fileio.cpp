@@ -1,0 +1,123 @@
+#include "util/fileio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace bist {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Full-buffer write loop (write(2) may be short without error).
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_fd_sync(const std::string& path, std::span<const std::uint8_t> data,
+                   int flags) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return false;
+  bool ok = write_all(fd, data.data(), data.size());
+  ok = ok && ::fsync(fd) == 0;
+  ok = (::close(fd) == 0) && ok;
+  return ok;
+}
+
+}  // namespace
+
+bool FileOps::write_file(const std::string& path,
+                         std::span<const std::uint8_t> data) {
+  return write_fd_sync(path, data, O_WRONLY | O_CREAT | O_TRUNC);
+}
+
+bool FileOps::append_file(const std::string& path,
+                          std::span<const std::uint8_t> data) {
+  return write_fd_sync(path, data, O_WRONLY | O_CREAT | O_APPEND);
+}
+
+bool FileOps::read_file(const std::string& path,
+                        std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out.clear();
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    out.insert(out.end(), buf, buf + r);
+  }
+  ::close(fd);
+  return true;
+}
+
+bool FileOps::rename_file(const std::string& from, const std::string& to) {
+  return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool FileOps::remove_file(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+bool FileOps::make_dirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  return !ec && fs::is_directory(path, ec);
+}
+
+bool FileOps::exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+bool FileOps::sync_parent_dir(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+FileOps& FileOps::real() {
+  static FileOps ops;
+  return ops;
+}
+
+bool atomic_write_file(FileOps& ops, const std::string& path,
+                       std::span<const std::uint8_t> data) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  if (!ops.write_file(tmp, data)) {
+    ops.remove_file(tmp);  // best effort: a short write leaves a stub behind
+    return false;
+  }
+  if (!ops.rename_file(tmp, path)) {
+    ops.remove_file(tmp);
+    return false;
+  }
+  ops.sync_parent_dir(path);  // advisory: rename already happened
+  return true;
+}
+
+}  // namespace bist

@@ -1,0 +1,62 @@
+#pragma once
+// Durable file I/O for the result store: a small virtual FileOps surface so
+// tests can inject failures (short writes, ENOSPC, refused renames) under
+// the exact code paths production uses, plus the atomic-publish primitive
+// the store is built on.
+//
+// Durability contract of atomic_write_file():
+//
+//   1. the payload is written to `<path>.tmp.<pid>` in full and fsync'd;
+//   2. the temp file is rename(2)'d onto the final path — atomic on POSIX,
+//      so a reader (or a crash) sees either the old file or the complete new
+//      one, never a partial write;
+//   3. the parent directory is fsync'd so the rename itself survives a
+//      crash.
+//
+// Every operation reports failure by return value, never by exception — the
+// store treats a failed publish as "not cached" and a failed read as a miss,
+// so I/O trouble can degrade performance but never correctness.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bist {
+
+/// Overridable file-system operations.  The default implementation is the
+/// real POSIX one; tests subclass it to simulate short writes, full disks
+/// and rename failures at exact byte counts.
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// Create/truncate `path`, write all bytes, fsync, close.  False on any
+  /// failure (the partial file, if any, is left for the caller to clean).
+  virtual bool write_file(const std::string& path,
+                          std::span<const std::uint8_t> data);
+  /// Append all bytes to `path` (creating it if needed), fsync, close.
+  virtual bool append_file(const std::string& path,
+                           std::span<const std::uint8_t> data);
+  /// Read the whole file into `out`; false if missing or unreadable.
+  virtual bool read_file(const std::string& path,
+                         std::vector<std::uint8_t>& out);
+  virtual bool rename_file(const std::string& from, const std::string& to);
+  virtual bool remove_file(const std::string& path);
+  /// mkdir -p; true if the directory exists afterwards.
+  virtual bool make_dirs(const std::string& path);
+  virtual bool exists(const std::string& path);
+  /// fsync the directory containing `path` (durability of renames/creates).
+  virtual bool sync_parent_dir(const std::string& path);
+
+  /// Process-wide real-POSIX instance.
+  static FileOps& real();
+};
+
+/// Atomic durable publish: temp file + fsync + rename + parent-dir fsync as
+/// described above.  On failure the temp file is removed (best effort) and
+/// the final path is untouched.
+bool atomic_write_file(FileOps& ops, const std::string& path,
+                       std::span<const std::uint8_t> data);
+
+}  // namespace bist

@@ -1,0 +1,81 @@
+#include "util/hash.hpp"
+
+#include <bit>
+
+namespace bist {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                      std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string Digest128::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t w = i < 8 ? hi : lo;
+    const unsigned shift = 8 * (7 - (i & 7));
+    const std::uint8_t byte = static_cast<std::uint8_t>(w >> shift);
+    s[2 * i] = digits[byte >> 4];
+    s[2 * i + 1] = digits[byte & 0xf];
+  }
+  return s;
+}
+
+Hasher& Hasher::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    a_ = (a_ ^ p[i]) * kFnvPrime;
+    b_ = (b_ ^ (p[i] + 0x9e)) * kFnvPrime;
+  }
+  return *this;
+}
+
+Hasher& Hasher::u8(std::uint8_t v) { return bytes(&v, 1); }
+
+Hasher& Hasher::u16(std::uint16_t v) {
+  const std::uint8_t le[2] = {std::uint8_t(v), std::uint8_t(v >> 8)};
+  return bytes(le, 2);
+}
+
+Hasher& Hasher::u32(std::uint32_t v) {
+  std::uint8_t le[4];
+  for (int i = 0; i < 4; ++i) le[i] = std::uint8_t(v >> (8 * i));
+  return bytes(le, 4);
+}
+
+Hasher& Hasher::u64(std::uint64_t v) {
+  std::uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = std::uint8_t(v >> (8 * i));
+  return bytes(le, 8);
+}
+
+Hasher& Hasher::f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+Hasher& Hasher::str(std::string_view s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+Digest128 Hasher::digest() const {
+  return Digest128{splitmix64(a_), splitmix64(b_)};
+}
+
+}  // namespace bist

@@ -1,0 +1,60 @@
+#pragma once
+// Content hashing for the persistence layer: a streaming 128-bit digest used
+// to key the result store (canonical hashes of netlists, option structs and
+// sweep-length lists) and a plain FNV-1a 64 used as the record checksum.
+//
+// Non-cryptographic by design — the store defends against corruption and
+// version skew, not adversaries.  What matters here is (a) the digest is a
+// pure function of the *fields fed in*, independent of process, pointer or
+// platform state, and (b) field boundaries are unambiguous: every variable-
+// length item is length-prefixed before its bytes, so ("ab","c") and
+// ("a","bc") hash differently.  All integers are folded in little-endian
+// byte order explicitly, so the digest is stable across hosts.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace bist {
+
+/// FNV-1a 64-bit over a byte span (record checksums, quick content tags).
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                      std::uint64_t basis = 0xcbf29ce484222325ull);
+
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest128&) const = default;
+  /// 32 lowercase hex characters, hi first — stable file-name material.
+  std::string hex() const;
+};
+
+/// Streaming two-lane FNV-1a/splitmix hasher producing a Digest128.  The two
+/// lanes start from distinct bases and the second perturbs each byte, so a
+/// single-lane collision does not collide the pair; digest() applies a
+/// splitmix64 finalizer per lane for avalanche.
+class Hasher {
+ public:
+  Hasher& bytes(const void* data, std::size_t n);
+  Hasher& u8(std::uint8_t v);
+  Hasher& u16(std::uint16_t v);
+  Hasher& u32(std::uint32_t v);
+  Hasher& u64(std::uint64_t v);
+  Hasher& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  /// Doubles fold their IEEE-754 bit pattern (bit-identical inputs only —
+  /// exactly the determinism contract the engines already provide).
+  Hasher& f64(double v);
+  /// Length-prefixed string (the prefix keeps field boundaries unambiguous).
+  Hasher& str(std::string_view s);
+
+  Digest128 digest() const;
+
+ private:
+  std::uint64_t a_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  std::uint64_t b_ = 0x6c62272e07bb0142ull;  // distinct basis, perturbed lane
+};
+
+}  // namespace bist

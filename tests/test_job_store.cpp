@@ -1,0 +1,266 @@
+// Durability of the pipeline end to end: cache hits through run_plan_job
+// (bit-identical to the computed sweep), corruption quarantined inside a job
+// that still completes Ok, bounded deterministic retry for transient stage
+// failures vs. fail-fast for deterministic ones, and the batch manifest's
+// kill-and-resume contract — a resumed batch's reports are byte-identical
+// (volatile fields stripped) to a cold run's, and a torn manifest tail
+// replays everything before the tear.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuits/iscas85_family.hpp"
+#include "netlist/bench_io.hpp"
+#include "pipeline/job.hpp"
+#include "store/manifest.hpp"
+#include "store/result_store.hpp"
+#include "store/serialize.hpp"
+#include "test_util.hpp"
+#include "util/fileio.hpp"
+#include "util/hash.hpp"
+
+using namespace bist;
+namespace fs = std::filesystem;
+
+namespace {
+
+JobSpec make_spec(const std::string& name) {
+  JobSpec s;
+  s.name = name;
+  s.bench_text = write_bench(make_iscas85(name));
+  s.sweep_lengths = {32, 128};
+  s.tpg.lfsr_patterns = 128;
+  s.tpg.podem.backtrack_limit = 50;
+  s.retry.backoff_s = 0.0005;  // keep retry tests fast
+  return s;
+}
+
+const StageReport* find_stage(const JobReport& r, std::string_view name) {
+  for (const StageReport& s : r.stages)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+// Serialized job-report bytes with wall-clock/attempt/cache fields zeroed:
+// the differential oracle for "same work, different run".
+std::vector<std::uint8_t> stripped_bytes(JobReport r) {
+  strip_volatile(r);
+  return serialize_job_report(r);
+}
+
+// Sweep bytes with timings zeroed, for fresh-vs-recomputed comparisons.
+std::vector<std::uint8_t> sweep_bytes(MixedSweepResult s) {
+  s.stats.lfsr_seconds = s.stats.podem_seconds = 0;
+  s.stats.compact_seconds = s.stats.solve_seconds = 0;
+  for (MixedSchemeResult& p : s.points) {
+    p.lfsr_seconds = p.podem_seconds = p.compact_seconds = p.solve_seconds = 0;
+    p.comp.solve_seconds = 0;
+  }
+  return serialize_sweep(s);
+}
+
+// ---------------------------------------------------------------------------
+void test_cache_hit_through_job(ResultStore& store) {
+  JobSpec spec = make_spec("c432s");
+  spec.store = &store;
+
+  const JobReport cold = run_plan_job(spec);
+  CHECK(cold.status.ok());
+  CHECK(cold.wrapper_ok);
+  CHECK(cold.cache.consulted);
+  CHECK(!cold.cache.hit);
+  CHECK(cold.cache.stored);
+
+  const JobReport warm = run_plan_job(spec);
+  CHECK(warm.status.ok());
+  CHECK(warm.wrapper_ok);
+  CHECK(warm.cache.hit);
+  CHECK(!warm.cache.stored);  // nothing to publish on a hit
+  // The served sweep is byte-identical to the computed one — timings
+  // included, because the record IS the cold run's serialization.
+  CHECK(serialize_sweep(warm.sweep) == serialize_sweep(cold.sweep));
+  // Downstream stages run on identical data -> identical hardware.
+  CHECK(warm.wrapper_bench == cold.wrapper_bench);
+  const StageReport* sr = find_stage(warm, "sweep");
+  CHECK(sr && sr->note.find("hit") != std::string::npos);
+  // Overall differential: stripped reports are byte-equal.
+  CHECK(stripped_bytes(warm) == stripped_bytes(cold));
+}
+
+// ---------------------------------------------------------------------------
+void test_quarantine_through_job(ResultStore& store) {
+  JobSpec spec = make_spec("c432s");
+  spec.store = &store;
+
+  const JobReport baseline = run_plan_job(spec);
+  CHECK(baseline.status.ok());
+  const Netlist n = read_bench(spec.bench_text);
+  const Digest128 key = sweep_cache_key(n, spec.sweep_lengths, spec.tpg);
+  const std::string path = store.sweep_path(key);
+  std::vector<std::uint8_t> good;
+  CHECK(FileOps::real().read_file(path, good));
+
+  using Mangle = std::vector<std::uint8_t> (*)(std::vector<std::uint8_t>);
+  const Mangle cases[] = {
+      [](std::vector<std::uint8_t> b) {  // truncated mid-payload
+        b.resize(b.size() / 2);
+        return b;
+      },
+      [](std::vector<std::uint8_t> b) {  // bit rot in the payload
+        b[b.size() - 1] ^= 0x80;
+        return b;
+      },
+      [](std::vector<std::uint8_t> b) {  // future format version
+        b[4] += 1;
+        return b;
+      },
+      [](std::vector<std::uint8_t> b) {  // checksum-valid garbage payload
+        (void)b;
+        return std::vector<std::uint8_t>();  // replaced below with a frame
+      },
+  };
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    std::vector<std::uint8_t> bad = cases[i](good);
+    if (bad.empty()) bad = frame_record(key, std::vector<std::uint8_t>(32, 0xFF));
+    CHECK(FileOps::real().write_file(path, bad));
+
+    // The job must complete Ok: quarantine + recompute, never an exception.
+    const JobReport rep = run_plan_job(spec);
+    CHECK(rep.status.ok());
+    CHECK(rep.wrapper_ok);
+    CHECK(rep.cache.quarantined);
+    CHECK(!rep.cache.hit);
+    CHECK(rep.cache.stored);  // recomputed result re-published
+    const StageReport* sr = find_stage(rep, "sweep");
+    CHECK(sr && !sr->note.empty());
+    // The recomputation matches the baseline, work for work.
+    CHECK(sweep_bytes(rep.sweep) == sweep_bytes(baseline.sweep));
+    CHECK(fs::exists(path));  // healed for the next consumer
+  }
+}
+
+// ---------------------------------------------------------------------------
+void test_retry_and_fail_fast() {
+  // Two transient faults, three attempts: the third try wins.
+  {
+    set_injected_failure("sweep", "c17", /*times=*/2, /*transient=*/true);
+    JobSpec spec = make_spec("c17");
+    spec.retry.attempts = 3;
+    const JobReport rep = run_plan_job(spec);
+    clear_injected_failure();
+    CHECK(rep.status.ok());
+    CHECK(rep.wrapper_ok);
+    const StageReport* sr = find_stage(rep, "sweep");
+    CHECK(sr && sr->attempts == 3);
+    CHECK(sr && sr->note.find("transient") != std::string::npos);
+  }
+  // Transient faults outlasting the budget: Error after exactly `attempts`.
+  {
+    set_injected_failure("sweep", "c17", /*times=*/-1, /*transient=*/true);
+    JobSpec spec = make_spec("c17");
+    spec.retry.attempts = 2;
+    const JobReport rep = run_plan_job(spec);
+    clear_injected_failure();
+    CHECK(rep.status.code == StageCode::Error);
+    const StageReport* sr = find_stage(rep, "sweep");
+    CHECK(sr && sr->attempts == 2);
+  }
+  // Deterministic failure: fail fast on the first attempt, retries unspent.
+  {
+    set_injected_failure("sweep", "c17", /*times=*/-1, /*transient=*/false);
+    JobSpec spec = make_spec("c17");
+    spec.retry.attempts = 3;
+    const JobReport rep = run_plan_job(spec);
+    clear_injected_failure();
+    CHECK(rep.status.code == StageCode::Error);
+    const StageReport* sr = find_stage(rep, "sweep");
+    CHECK(sr && sr->attempts == 1);
+  }
+  // The classifier itself.
+  CHECK(is_transient_error(TransientError("blip")));
+  CHECK(is_transient_error(
+      std::system_error(std::make_error_code(std::errc::io_error))));
+  CHECK(!is_transient_error(std::runtime_error("logic bug")));
+}
+
+// ---------------------------------------------------------------------------
+void test_manifest_resume(ResultStore& store) {
+  const std::string mp = "jobstore_manifest.bin";
+  fs::remove(mp);
+
+  std::vector<JobSpec> specs = {make_spec("c17"), make_spec("c432s")};
+
+  // Cold baseline: no store, no manifest.
+  BatchOptions cold_bo;
+  cold_bo.threads = 2;
+  const BatchResult cold = run_job_batch(specs, cold_bo);
+  CHECK_EQ(cold.reports.size(), 2u);
+  CHECK(cold.reports[0].status.ok() && cold.reports[1].status.ok());
+
+  // "Crashed" run: only the first job completed before the kill.
+  BatchOptions bo;
+  bo.threads = 2;
+  bo.store = &store;
+  bo.manifest_path = mp;
+  const std::vector<JobSpec> partial = {specs[0]};
+  const BatchResult before = run_job_batch(partial, bo);
+  CHECK(before.reports[0].status.ok());
+  CHECK_EQ(before.manifest_hits, 0u);
+
+  // Resume: the finished job replays from the journal, the other computes.
+  bo.resume = true;
+  const BatchResult resumed = run_job_batch(specs, bo);
+  CHECK_EQ(resumed.manifest_loaded, 1u);
+  CHECK_EQ(resumed.manifest_hits, 1u);
+  CHECK(resumed.reports[0].cache.manifest);
+  CHECK(!resumed.reports[1].cache.manifest);
+  CHECK(resumed.reports[0].status.ok() && resumed.reports[1].status.ok());
+  // The kill-and-resume differential: byte-identical to the cold run once
+  // timings/attempts/cache provenance are stripped.
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    CHECK(stripped_bytes(resumed.reports[i]) ==
+          stripped_bytes(cold.reports[i]));
+
+  // Torn tail: garbage after the last intact frame (the SIGKILL shape).
+  {
+    const std::vector<std::uint8_t> junk = {'B', 'S', 'T', 0x00, 0x13, 0x37};
+    CHECK(FileOps::real().append_file(mp, junk));
+    BatchManifest m(mp);
+    CHECK_EQ(m.load(), 2u);  // both completed jobs journaled before the tear
+    const BatchResult again = run_job_batch(specs, bo);
+    CHECK_EQ(again.manifest_hits, 2u);  // everything before the tear replays
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      CHECK(stripped_bytes(again.reports[i]) ==
+            stripped_bytes(cold.reports[i]));
+  }
+
+  // Fresh (non-resume) batch with a manifest path starts a fresh journal.
+  {
+    bo.resume = false;
+    const BatchResult fresh = run_job_batch(partial, bo);
+    CHECK_EQ(fresh.manifest_hits, 0u);
+    BatchManifest m(mp);
+    CHECK_EQ(m.load(), 1u);  // stale journal was removed, one new entry
+  }
+
+  fs::remove(mp);
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir = "jobstore_dir";
+  fs::remove_all(dir);
+  {
+    ResultStore store({dir, nullptr});
+    test_cache_hit_through_job(store);
+    test_quarantine_through_job(store);
+    test_retry_and_fail_fast();
+    test_manifest_resume(store);
+  }
+  fs::remove_all(dir);
+  return bist_test::summary();
+}
