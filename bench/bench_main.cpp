@@ -80,22 +80,31 @@
 //                        [--wrapper-dir DIR]
 //                        [--deadline-ms D] [--job-timeout-ms J]
 //                        [--jobs] [--cache-dir DIR] [--resume] [--retries N]
+//                        [--serve] [--spool DIR] [--stream FILE]
+//                        [--drain-ms N] [--queue-limit N] [--watchdog-ms N]
+//                        [--grace-ms N] [--quarantine-after N]
+//                        [--health FILE] [--health-period-ms N]
+//                        [--chaos stage:circuit[:times[:transient|det]]]
 //                        [--out FILE] [--plot]
 
 #include <algorithm>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bist/schedule.hpp"
 #include "bist/synth.hpp"
 #include "bist/verify.hpp"
 #include "pipeline/job.hpp"
+#include "service/service.hpp"
 #include "store/result_store.hpp"
 #include "circuits/iscas85_family.hpp"
 #include "fault/fault_sim.hpp"
@@ -396,6 +405,239 @@ int run_job_mode(const JobModeConfig& cfg) {
   return 0;
 }
 
+// --- Service mode: long-lived resilient job server -------------------------
+//
+// --serve runs the JobService front end: submissions arrive as text lines —
+// `<circuit> [client=NAME] [priority=N]` — either from stdin (default, until
+// EOF or a line reading `STOP`) or from a spool directory (--spool DIR:
+// every *.job file is read line by line, submitted, and renamed to
+// *.job.done; a `stop.ctl` sentinel file requests a full drain and exit;
+// move files into the spool atomically).  Unknown circuit names become jobs
+// whose bench text is the raw line, so a malformed submission is contained
+// as a parse-stage Error report instead of killing the server.  Every
+// submission streams exactly one JSONL report (--stream FILE, appended and
+// flushed per line) whose object shape matches the --jobs per-job entries,
+// so a service stream and a cold batch run are directly comparable once
+// volatile fields (seconds, attempts, cache provenance) are stripped.
+// SIGTERM/SIGINT trigger a graceful drain bounded by --drain-ms: in-flight
+// work is cancelled at the deadline, queued work is dropped WITH a report,
+// and the manifest journal under --cache-dir lets a restarted server
+// (--resume) replay completed jobs at admission.  --chaos
+// stage:circuit[:times[:transient|det]] arms the process-global fault
+// injection hook for chaos runs.  A health snapshot JSON is published
+// atomically to --health every --health-period-ms and once more at exit.
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void handle_stop_signal(int) { g_stop_signal = 1; }
+
+struct ServeConfig {
+  std::string spool_dir;  // empty = read submissions from stdin
+  std::string stream_path = "BENCH_service.jsonl";
+  std::string health_path = "BENCH_service_health.json";
+  double health_period_ms = 500;
+  std::size_t queue_limit = 64;
+  double watchdog_ms = 0;
+  double grace_ms = 250;
+  int quarantine_after = 3;
+  double drain_ms = 5000;
+  std::string chaos;  // stage:circuit[:times[:transient|det]]
+  JobModeConfig job;  // shared spec/store/manifest knobs
+};
+
+std::string jobreport_jsonl(const bist::JobReport& rep) {
+  std::ostringstream js;
+  js << "{\"name\": " << json_str(rep.name) << ", \"status\": "
+     << json_str(std::string(bist::stage_code_name(rep.status.code)))
+     << ", \"status_message\": " << json_str(rep.status.message)
+     << ", \"degraded\": " << (rep.degraded ? "true" : "false")
+     << ", \"wrapper_ok\": " << (rep.wrapper_ok ? "true" : "false")
+     << ", \"cache\": {\"consulted\": "
+     << (rep.cache.consulted ? "true" : "false")
+     << ", \"hit\": " << (rep.cache.hit ? "true" : "false")
+     << ", \"stored\": " << (rep.cache.stored ? "true" : "false")
+     << ", \"quarantined\": " << (rep.cache.quarantined ? "true" : "false")
+     << ", \"manifest\": " << (rep.cache.manifest ? "true" : "false")
+     << ", \"note\": " << json_str(rep.cache.note) << "}, \"stages\": [";
+  for (std::size_t s = 0; s < rep.stages.size(); ++s) {
+    const bist::StageReport& sr = rep.stages[s];
+    js << (s ? ", " : "") << "{\"name\": " << json_str(sr.name)
+       << ", \"status\": "
+       << json_str(std::string(bist::stage_code_name(sr.status.code)))
+       << ", \"attempts\": " << sr.attempts
+       << ", \"seconds\": " << json_num(sr.seconds) << "}";
+  }
+  js << "], \"chosen_length\": " << rep.plan.lfsr_patterns
+     << ", \"topoff_patterns\": " << rep.plan.topoff_patterns
+     << ", \"test_time\": " << rep.plan.test_time
+     << ", \"rom_bits\": " << rep.plan.rom_bits
+     << ", \"area_bits\": " << rep.plan.area.area_bits()
+     << ", \"final_coverage\": " << json_num(rep.plan.final_coverage)
+     << ", \"selfsim_cycles\": " << rep.verification.cycles
+     << ", \"selfsim_coverage\": "
+     << json_num(rep.verification.achieved_coverage)
+     << ", \"seconds\": " << json_num(rep.seconds) << "}";
+  return js.str();
+}
+
+int run_serve_mode(const ServeConfig& cfg) {
+  namespace fs = std::filesystem;
+
+  if (!cfg.chaos.empty()) {
+    std::vector<std::string> parts;
+    for (auto tok : bist::split(cfg.chaos, ":")) parts.emplace_back(tok);
+    if (parts.size() < 2) {
+      std::cerr << "error: --chaos wants stage:circuit[:times[:transient]]\n";
+      return 2;
+    }
+    const int times = parts.size() > 2 ? std::stoi(parts[2]) : -1;
+    const bool transient = parts.size() > 3 && parts[3] == "transient";
+    bist::set_injected_failure(parts[0], parts[1], times, transient);
+    std::cout << "chaos: injecting " << (transient ? "transient" : "sticky")
+              << " failure at " << parts[0] << "/" << parts[1] << " x"
+              << times << "\n";
+  }
+
+  std::unique_ptr<bist::ResultStore> store;
+  bist::ServiceOptions so;
+  so.threads = cfg.job.threads;
+  so.queue_limit = cfg.queue_limit;
+  so.watchdog_timeout_s = cfg.watchdog_ms / 1000.0;
+  so.stuck_grace_s = cfg.grace_ms / 1000.0;
+  so.quarantine_after = cfg.quarantine_after;
+  so.health_path = cfg.health_path;
+  so.health_period_s = cfg.health_period_ms / 1000.0;
+  so.resume = cfg.job.resume;
+  if (!cfg.job.cache_dir.empty()) {
+    bist::StoreOptions sto;
+    sto.dir = cfg.job.cache_dir;
+    store = std::make_unique<bist::ResultStore>(std::move(sto));
+    so.store = store.get();
+    so.manifest_path = cfg.job.cache_dir + "/service.manifest";
+  } else if (cfg.job.resume) {
+    std::cerr << "note: --resume without --cache-dir has no manifest to "
+                 "replay; running cold\n";
+  }
+
+  std::ofstream stream(cfg.stream_path, std::ios::app);
+  if (!stream) {
+    std::cerr << "error: could not open stream " << cfg.stream_path << "\n";
+    return 1;
+  }
+  std::uint64_t streamed = 0;
+  bist::JobService svc(so, [&](const bist::JobReport& rep) {
+    stream << jobreport_jsonl(rep) << "\n";
+    stream.flush();  // one durable line per report: tail-able and kill-safe
+    ++streamed;      // sink calls are serialized by the service
+  });
+
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  // One submission line: `<circuit> [client=NAME] [priority=N]`.
+  const auto submit_line = [&](const std::string& line) {
+    std::istringstream is(line);
+    std::string name, tok, client;
+    int priority = 0;
+    if (!(is >> name) || name[0] == '#') return;  // blank / comment
+    while (is >> tok) {
+      if (tok.rfind("client=", 0) == 0) client = tok.substr(7);
+      else if (tok.rfind("priority=", 0) == 0)
+        priority = std::stoi(tok.substr(9));
+    }
+    bist::JobSpec spec;
+    spec.name = name;
+    try {
+      spec.bench_text = bist::write_bench(bist::make_iscas85(name));
+    } catch (const std::exception&) {
+      // Unknown circuit: ship the raw line as the bench text so the parse
+      // stage contains the failure as a per-job Error, not a server fault.
+      spec.bench_text = line;
+    }
+    spec.sweep_lengths = cfg.job.sweep_lengths;
+    spec.tpg.lfsr_patterns = cfg.job.patterns;
+    spec.tpg.fsim = cfg.job.fopt;
+    spec.tpg.podem.backtrack_limit = cfg.job.podem_backtracks;
+    spec.tpg.podem_threads = cfg.job.threads;
+    spec.tpg.compress = cfg.job.compress;
+    spec.schedule.test_time_budget = cfg.job.budget;
+    spec.schedule.lfsr_degree = spec.tpg.lfsr_degree;
+    spec.schedule.lfsr_seed = spec.tpg.lfsr_seed;
+    spec.sweep_deadline_s = cfg.job.deadline_ms / 1000.0;
+    spec.job_timeout_s = cfg.job.job_timeout_ms / 1000.0;
+    spec.retry.attempts = std::max(1u, cfg.job.retries);
+    const bist::SubmitResult r = svc.submit(std::move(spec), client, priority);
+    std::cout << "submit " << name << ": " << bist::submit_code_name(r.code)
+              << " (ticket " << r.ticket << ")\n";
+  };
+
+  bool stop_requested = false;
+  if (cfg.spool_dir.empty()) {
+    // Stdin mode: one submission per line until EOF or STOP.  (Signals may
+    // not interrupt a blocked read on every platform; the spool mode below
+    // is the one CI drives SIGTERM against.)
+    std::string line;
+    while (!g_stop_signal && std::getline(std::cin, line)) {
+      if (line == "STOP") {
+        stop_requested = true;
+        break;
+      }
+      submit_line(line);
+    }
+  } else {
+    std::error_code ec;
+    fs::create_directories(cfg.spool_dir, ec);
+    std::cout << "serving from spool " << cfg.spool_dir << " (stop: SIGTERM"
+              << " or stop.ctl)\n";
+    while (!g_stop_signal && !stop_requested) {
+      // Deterministic intake order: *.job files sorted by name.
+      std::vector<fs::path> batch;
+      for (const auto& ent : fs::directory_iterator(cfg.spool_dir, ec)) {
+        if (ent.path().extension() == ".job") batch.push_back(ent.path());
+      }
+      std::sort(batch.begin(), batch.end());
+      for (const fs::path& p : batch) {
+        std::ifstream f(p);
+        std::string line;
+        while (std::getline(f, line)) submit_line(line);
+        fs::rename(p, p.string() + ".done", ec);  // consume exactly once
+      }
+      if (fs::exists(fs::path(cfg.spool_dir) / "stop.ctl", ec)) {
+        stop_requested = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  const char* why = g_stop_signal ? "signal" : stop_requested ? "stop.ctl"
+                                                              : "eof";
+  std::cout << "drain (" << why << "): deadline "
+            << bist::format_fixed(cfg.drain_ms, 0) << "ms\n";
+  // stop.ctl / EOF mean "finish everything"; a signal gets the bounded
+  // deadline so shutdown cannot hang behind a wedged job.
+  svc.drain(g_stop_signal ? cfg.drain_ms / 1000.0 : -1.0);
+  bist::clear_injected_failure();
+
+  const bist::ServiceHealth h = svc.health();
+  std::cout << "service: " << h.submitted << " submitted, " << h.accepted
+            << " accepted, " << h.replayed << " replayed, " << h.completed_ok
+            << " ok, " << h.completed_error << " error, "
+            << h.completed_stopped << " stopped, " << h.drain_dropped
+            << " dropped, "
+            << (h.rejected_overload + h.rejected_quarantine +
+                h.rejected_stopping)
+            << " rejected, " << h.watchdog_kills << " watchdog kills; "
+            << streamed << " reports streamed to " << cfg.stream_path << "\n";
+  // Accounting invariant: exactly one streamed report per submission.
+  if (streamed != h.submitted) {
+    std::cerr << "error: streamed " << streamed << " reports for "
+              << h.submitted << " submissions\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -433,6 +675,8 @@ int run_bench(int argc, char** argv) {
   std::string cache_dir;           // durable sweep store root; implies jobs
   bool resume = false;             // replay the batch manifest; implies jobs
   unsigned retries = 1;            // stage attempts (1 = no retry)
+  bool serve_mode = false;         // long-lived job service front end
+  ServeConfig serve;               // --serve knobs (spool, stream, watchdog)
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -487,6 +731,30 @@ int run_bench(int argc, char** argv) {
       jobs_mode = true;
     } else if (a == "--retries") {
       retries = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "--serve") {
+      serve_mode = true;
+    } else if (a == "--spool") {
+      serve.spool_dir = next();
+      serve_mode = true;
+    } else if (a == "--stream") {
+      serve.stream_path = next();
+      serve_mode = true;
+    } else if (a == "--drain-ms") {
+      serve.drain_ms = std::stod(next());
+    } else if (a == "--queue-limit") {
+      serve.queue_limit = std::stoul(next());
+    } else if (a == "--watchdog-ms") {
+      serve.watchdog_ms = std::stod(next());
+    } else if (a == "--grace-ms") {
+      serve.grace_ms = std::stod(next());
+    } else if (a == "--quarantine-after") {
+      serve.quarantine_after = std::stoi(next());
+    } else if (a == "--health") {
+      serve.health_path = next();
+    } else if (a == "--health-period-ms") {
+      serve.health_period_ms = std::stod(next());
+    } else if (a == "--chaos") {
+      serve.chaos = next();
     } else if (a == "--sweep-lengths") {
       sweep_lengths.clear();
       const std::string list = next();
@@ -506,6 +774,10 @@ int run_bench(int argc, char** argv) {
                    "[--wrapper-dir DIR] "
                    "[--deadline-ms D] [--job-timeout-ms J] "
                    "[--jobs] [--cache-dir DIR] [--resume] [--retries N] "
+                   "[--serve] [--spool DIR] [--stream FILE] [--drain-ms N] "
+                   "[--queue-limit N] [--watchdog-ms N] [--grace-ms N] "
+                   "[--quarantine-after N] [--health FILE] "
+                   "[--health-period-ms N] [--chaos stage:circuit[:n[:kind]]] "
                    "[--out FILE] [--plot]\n";
       return 2;
     }
@@ -536,6 +808,22 @@ int run_bench(int argc, char** argv) {
   bist::FaultSimOptions fopt;
   fopt.threads = threads;
   fopt.word_width = width;
+
+  if (serve_mode) {
+    serve.job.patterns = patterns;
+    serve.job.sweep_lengths = sweep_lengths;
+    serve.job.fopt = fopt;
+    serve.job.threads = threads;
+    serve.job.podem_backtracks = podem_backtracks;
+    serve.job.compress = compress;
+    serve.job.budget = budget;
+    serve.job.deadline_ms = deadline_ms;
+    serve.job.job_timeout_ms = job_timeout_ms;
+    serve.job.cache_dir = cache_dir;
+    serve.job.resume = resume;
+    serve.job.retries = retries;
+    return run_serve_mode(serve);
+  }
 
   if (jobs_mode) {
     JobModeConfig cfg;

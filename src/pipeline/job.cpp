@@ -54,6 +54,22 @@ void maybe_inject(const char* stage, const std::string& circuit) {
 constexpr const char* kStageNames[] = {"parse", "sweep", "schedule", "synth",
                                        "verify"};
 
+// Retry backoff that observes the job deadline/cancel: sleep in short slices
+// polling should_stop(), so a cancelled job stops waiting within one slice
+// instead of sleeping through its full exponential backoff.  Returns false
+// when the wait was interrupted (the retry loop must then give up).
+bool interruptible_backoff(double seconds, const Deadline& job_dl) {
+  constexpr double kSliceS = 0.01;
+  const auto t0 = WallClock::now();
+  while (seconds_since(t0) < seconds) {
+    if (job_dl.should_stop()) return false;
+    const double left = seconds - seconds_since(t0);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::min(kSliceS, left)));
+  }
+  return !job_dl.should_stop();
+}
+
 // Run one stage body under the job's isolation contract: wall-clock it,
 // catch anything it throws, and record a StageReport.  Exceptions classified
 // transient retry under `retry` (deterministic backoff, stopped early when
@@ -82,8 +98,10 @@ bool run_stage(JobReport& rep, const char* name, const std::string& circuit,
         break;
       if (!sr.note.empty()) sr.note += "; ";
       sr.note += "transient failure, retrying: " + std::string(e.what());
-      if (backoff_s > 0)
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      if (backoff_s > 0 && !interruptible_backoff(backoff_s, job_dl)) {
+        sr.note += "; retry abandoned: job stopped during backoff";
+        break;
+      }
       backoff_s *= retry.multiplier;
     } catch (...) {
       sr.status = StageStatus::error(std::string(name) + ": unknown exception");
@@ -200,12 +218,21 @@ JobReport run_plan_job(const JobSpec& spec) {
   rep.name = spec.name;
   const auto job_t0 = WallClock::now();
 
+  // Stage-boundary liveness beat for the service watchdog; the deadlines
+  // below additionally beat at every cooperative poll inside the engines.
+  const auto beat = [&] {
+    if (spec.heartbeat)
+      spec.heartbeat->store(WallClock::now().time_since_epoch().count(),
+                            std::memory_order_relaxed);
+  };
+  beat();
+
   // Whole-job deadline: checked at stage boundaries, folded into the sweep
   // deadline, and threaded into synth/verify.  An unset timeout still
   // observes the cancel token.
   Deadline job_dl = spec.job_timeout_s > 0 ? Deadline::after(spec.job_timeout_s)
                                            : Deadline();
-  job_dl.observe(spec.cancel);
+  job_dl.observe(spec.cancel).heartbeat(spec.heartbeat);
 
   // Per-stage deadline from what is left of the whole-job budget; dl must
   // outlive the stage body.  Returns nullptr when nothing limits the stage
@@ -215,7 +242,7 @@ JobReport run_plan_job(const JobSpec& spec) {
     if (spec.job_timeout_s > 0)
       remain_s = std::max(0.0, spec.job_timeout_s - seconds_since(job_t0));
     dl = remain_s >= 0 ? Deadline::after(remain_s) : Deadline();
-    dl.observe(spec.cancel);
+    dl.observe(spec.cancel).heartbeat(spec.heartbeat);
     return (remain_s >= 0 || spec.cancel) ? &dl : nullptr;
   };
 
@@ -223,6 +250,7 @@ JobReport run_plan_job(const JobSpec& spec) {
   // stage is recorded as stopped (not Error — the job was told to stop) and
   // the pipeline ends.
   const auto boundary_stop = [&](const char* stage) {
+    beat();
     if (!job_dl.should_stop()) return false;
     StageReport sr;
     sr.name = stage;
@@ -288,7 +316,7 @@ JobReport run_plan_job(const JobSpec& spec) {
                                                : std::min(sweep_s, remain_s);
       Deadline sweep_dl =
           sweep_s >= 0 ? Deadline::after(sweep_s) : Deadline();
-      sweep_dl.observe(spec.cancel);
+      sweep_dl.observe(spec.cancel).heartbeat(spec.heartbeat);
 
       MixedTpgOptions topt = spec.tpg;
       topt.deadline = (sweep_s >= 0 || spec.cancel) ? &sweep_dl : nullptr;
@@ -382,6 +410,7 @@ JobReport run_plan_job(const JobSpec& spec) {
         break;
       }
   }
+  beat();
   rep.seconds = seconds_since(job_t0);
   return rep;
 }

@@ -29,7 +29,9 @@
 //    an append-only checkpoint file, and with `resume` replays completed
 //    jobs from it — a SIGKILLed batch restarts from where it died.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -92,6 +94,12 @@ struct JobSpec {
   /// Optional external cancel; observed by every deadline the job creates
   /// and polled at stage boundaries.  Not owned; may be null.
   const CancelToken* cancel = nullptr;
+  /// Optional liveness heartbeat (steady-clock nanoseconds), written at every
+  /// stage boundary and — through the job's deadlines — at every cooperative
+  /// poll inside the engines.  The job-service watchdog reads it to detect a
+  /// wedged job (one that stopped polling).  Not owned; may be null; excluded
+  /// from job_key (it is observation plumbing, not a result-affecting input).
+  std::atomic<std::int64_t>* heartbeat = nullptr;
   /// Sweep-result cache consulted/published around the sweep stage (see the
   /// durability notes above).  Not owned; may be null (no caching).
   ResultStore* store = nullptr;

@@ -137,7 +137,7 @@ void put_status(ByteWriter& w, const StageStatus& s) {
 StageStatus get_status(ByteReader& r) {
   StageStatus s;
   const std::uint8_t code = r.u8();
-  if (code > static_cast<std::uint8_t>(StageCode::Error)) r.fail("bad code");
+  if (code > static_cast<std::uint8_t>(StageCode::Rejected)) r.fail("bad code");
   s.code = static_cast<StageCode>(code);
   s.message = r.str();
   return s;

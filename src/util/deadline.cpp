@@ -8,6 +8,7 @@ std::string_view stage_code_name(StageCode c) {
     case StageCode::DeadlineExceeded: return "deadline_exceeded";
     case StageCode::Cancelled: return "cancelled";
     case StageCode::Error: return "error";
+    case StageCode::Rejected: return "rejected";
   }
   return "?";
 }
@@ -28,6 +29,9 @@ Deadline Deadline::after_checks(std::uint64_t polls) {
 }
 
 bool Deadline::expired() const {
+  if (hb_)
+    hb_->store(WallClock::now().time_since_epoch().count(),
+               std::memory_order_relaxed);
   if (polls_left_) {
     // fetch_sub with saturation: once the budget is gone every further poll
     // reports expired without wrapping the counter.

@@ -38,6 +38,9 @@ enum class StageCode : std::uint8_t {
   DeadlineExceeded,  ///< stopped at a cooperative check: deadline expired
   Cancelled,         ///< stopped at a cooperative check: token cancelled
   Error,             ///< threw; message carries what()
+  Rejected,          ///< never ran: shed at admission (overload/quarantine).
+                     ///< Distinct from Error so shed load is distinguishable
+                     ///< from failed work in every report.
 };
 
 std::string_view stage_code_name(StageCode c);  // "ok", "deadline_exceeded", ...
@@ -55,6 +58,9 @@ struct StageStatus {
   }
   static StageStatus cancelled(std::string msg = {}) {
     return {StageCode::Cancelled, std::move(msg)};
+  }
+  static StageStatus rejected(std::string msg = {}) {
+    return {StageCode::Rejected, std::move(msg)};
   }
 };
 
@@ -93,6 +99,16 @@ class Deadline {
     return *this;
   }
 
+  /// Publish a liveness heartbeat to `hb` (steady-clock nanoseconds) on every
+  /// cooperative poll.  The job-service watchdog reads it to tell "past its
+  /// deadline but still polling" (the job's own deadline will stop it within
+  /// one poll interval) from "stopped polling" (wedged — cancel now).  May be
+  /// nullptr to detach; the atomic must outlive every poll.
+  Deadline& heartbeat(std::atomic<std::int64_t>* hb) {
+    hb_ = hb;
+    return *this;
+  }
+
   bool cancelled() const { return token_ && token_->cancelled(); }
   /// Clock/poll-count expiry only (cancellation is separate).
   bool expired() const;
@@ -112,6 +128,7 @@ class Deadline {
   /// all copies counting against the same budget.
   std::shared_ptr<std::atomic<std::uint64_t>> polls_left_;
   const CancelToken* token_ = nullptr;
+  std::atomic<std::int64_t>* hb_ = nullptr;  ///< liveness sink, see heartbeat()
 };
 
 }  // namespace bist
